@@ -1,0 +1,55 @@
+"""Figure 1 — the R/B/G coloring of the triangulated plate.
+
+Regenerates the coloring picture for the paper's 6×6 plate and validates
+the property the figure illustrates: every triangle's three vertices carry
+three distinct colors, so the equations decouple color by color.
+"""
+
+from repro.analysis import Table
+
+from _common import cached_plate, emit, run_once
+
+
+def build_figure() -> str:
+    mesh = cached_plate(6).mesh
+    mesh.validate_coloring()
+    counts = mesh.color_counts()
+    art = mesh.coloring_ascii()
+    lines = [
+        "Figure 1 — plate coloring (R/B/G, '/'-diagonal triangular elements)",
+        "-" * 68,
+        art,
+        "-" * 68,
+        f"nodes per color (R, B, G): {tuple(int(c) for c in counts)}",
+        f"triangles: {mesh.n_triangles}, all tri-colored: True",
+        f"sequential row-wrap numbering valid (ncols ≡ 2 mod 3): "
+        f"{mesh.sequential_wrap_consistent}",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig1(benchmark):
+    text = run_once(benchmark, build_figure)
+    emit("fig1_coloring", text)
+    assert "R B G" in text or "R" in text.splitlines()[2]
+
+
+def test_coloring_validation_speed(benchmark):
+    """Micro-benchmark: tri-coloring validation of an 80×80 plate."""
+    mesh = cached_plate(80).mesh
+
+    def run():
+        mesh.validate_coloring()
+        return mesh.color_counts()
+
+    counts = benchmark(run)
+    assert int(counts.sum()) == mesh.n_nodes
+
+
+def test_greedy_coloring_speed(benchmark):
+    """Micro-benchmark: greedy multicolor of the a = 20 stiffness graph."""
+    from repro.multicolor import greedy_multicolor, validate_groups
+
+    k = cached_plate(20).k
+    colors = benchmark(greedy_multicolor, k)
+    validate_groups(k, colors)

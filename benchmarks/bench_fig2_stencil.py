@@ -1,0 +1,43 @@
+"""Figure 2 — the grid-point stencil (≤ 14 nonzeros per equation).
+
+Regenerates the stencil picture from the *assembled* operator: an interior
+node couples to itself and its six mesh neighbors (W, E, S, N, NW, SE),
+two displacement unknowns each.
+"""
+
+from repro.fem import stencil_summary
+from repro.fem.stencil import max_row_nonzeros
+
+from _common import cached_plate, emit, run_once
+
+
+def build_figure() -> str:
+    problem = cached_plate(8)
+    mesh = problem.mesh
+    node = mesh.node_id(4, 4)
+    summary = stencil_summary(mesh, problem.k, node)
+    lines = [
+        "Figure 2 — grid point stencil of the assembled plane-stress operator",
+        "-" * 68,
+        summary,
+        "-" * 68,
+        f"max nonzeros over all rows: {max_row_nonzeros(problem.k)} (paper bound: 14)",
+        "the u–u coupling across the '/' diagonal cancels exactly on the",
+        "uniform isotropic mesh, so 12 of the 14 reserved slots are nonzero",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig2(benchmark):
+    text = run_once(benchmark, build_figure)
+    emit("fig2_stencil", text)
+    assert "(u,v)" in text
+
+
+def test_assembly_speed(benchmark):
+    """Micro-benchmark: assembling the a = 20 plate system."""
+    from repro.fem import PlateMesh, assemble_plate
+
+    mesh = PlateMesh(20, 20)
+    k, f = benchmark(assemble_plate, mesh)
+    assert k.shape[0] == f.shape[0] == 2 * 20 * 19

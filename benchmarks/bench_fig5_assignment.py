@@ -1,0 +1,45 @@
+"""Figure 5 — processor assignments for the Table-3 runs.
+
+Two processors: the 6×5 unconstrained grid split into two 3×5 rectangles.
+Five processors: one column of 6 nodes each.  Both give every processor an
+equal number of R, B, G nodes *and* equal border-node counts — the paper's
+argument that ideal speedups of 2 and 5 would be achievable without
+communication costs.
+"""
+
+from repro.fem import PlateMesh
+from repro.machines import Assignment, ProcessorGrid
+
+from _common import emit, run_once
+
+
+def build_figure() -> str:
+    mesh = PlateMesh(6, 6)
+    sections = []
+    for n_procs in (2, 5):
+        grid = ProcessorGrid.for_count(n_procs, mesh)
+        assignment = Assignment.rectangles(mesh, grid)
+        report = assignment.balance_report()
+        borders = {
+            pair: int(nodes.size) for pair, nodes in assignment.border_pairs.items()
+        }
+        sections += [
+            f"Figure 5 — {n_procs}-processor assignment "
+            f"(grid {grid.prows}×{grid.pcols})",
+            "-" * 60,
+            assignment.ascii_map(),
+            f"color counts per processor: "
+            f"{[tuple(int(c) for c in assignment.color_counts(p)) for p in range(n_procs)]}",
+            f"border nodes per directed pair: {borders}",
+            f"balance: {report}",
+            "",
+        ]
+    return "\n".join(sections).rstrip()
+
+
+def test_fig5(benchmark):
+    text = run_once(benchmark, build_figure)
+    emit("fig5_assignments", text)
+    # Perfect balance for both Table-3 partitions.
+    assert "'max_color_spread': 0" in text
+    assert "2-processor" in text and "5-processor" in text

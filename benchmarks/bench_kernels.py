@@ -1,0 +1,74 @@
+"""Kernel micro-benchmarks: the primitives every table is built from.
+
+Not a paper artifact — these keep the library's own hot paths honest:
+matvec by diagonals versus CSR, the Conrad–Wallach m-step application
+versus the naive double-sweep reference, and a full PCG solve.
+"""
+
+import numpy as np
+
+from repro.core import SSORSplitting, neumann_coefficients, pcg
+from repro.core.mstep import MStepPreconditioner
+from repro.driver import solve_mstep_ssor
+from repro.multicolor import MStepSSOR
+
+from _common import cached_blocked, cached_plate
+
+
+def test_csr_matvec(benchmark):
+    blocked = cached_blocked(20)
+    x = np.random.default_rng(0).normal(size=blocked.n)
+    y = benchmark(blocked.matvec, x)
+    assert y.shape == x.shape
+
+
+def test_blockwise_matvec(benchmark):
+    blocked = cached_blocked(20)
+    x = np.random.default_rng(0).normal(size=blocked.n)
+    y = benchmark(blocked.matvec_blockwise, x)
+    assert y.shape == x.shape
+
+
+def test_mstep_ssor_merged_apply(benchmark):
+    blocked = cached_blocked(20)
+    applicator = MStepSSOR(blocked, neumann_coefficients(4))
+    r = np.random.default_rng(1).normal(size=blocked.n)
+    out = benchmark(applicator.apply, r)
+    assert out.shape == r.shape
+
+
+def test_mstep_ssor_reference_apply(benchmark):
+    # The naive double sweep: should clock ≈2× the merged path's block work.
+    blocked = cached_blocked(20)
+    applicator = MStepSSOR(blocked, neumann_coefficients(4))
+    r = np.random.default_rng(1).normal(size=blocked.n)
+    out = benchmark(applicator.apply_reference, r)
+    assert out.shape == r.shape
+
+
+def test_generic_mstep_apply(benchmark):
+    # Triangular-solve-based path (scipy spsolve_triangular) for contrast.
+    blocked = cached_blocked(20)
+    precond = MStepPreconditioner(
+        SSORSplitting(blocked.permuted), neumann_coefficients(4)
+    )
+    r = np.random.default_rng(2).normal(size=blocked.n)
+    out = benchmark(precond.apply, r)
+    assert out.shape == r.shape
+
+
+def test_full_pcg_solve(benchmark):
+    problem = cached_plate(14)
+    blocked = cached_blocked(14)
+
+    def run():
+        return solve_mstep_ssor(problem, 3, blocked=blocked, eps=1e-6)
+
+    solve = benchmark(run)
+    assert solve.result.converged
+
+
+def test_plain_cg_solve(benchmark):
+    problem = cached_plate(14)
+    result = benchmark(lambda: pcg(problem.k, problem.f, eps=1e-6))
+    assert result.converged

@@ -1,0 +1,79 @@
+"""Table 1 — α values for the m-step SSOR PCG method.
+
+**Exact reproduction.**  The paper's printed coefficients are the
+uniform-weight least-squares fit of ``q(μ) = μ·Σ αᵢ(1−μ)ⁱ ≈ 1`` on the
+theoretical SSOR interval [0, 1] (the spectrum of ``P⁻¹K`` always lies in
+(0, 1] for the ω = 1 SSOR splitting of an SPD matrix), normalized so
+α₀ = 1 — a scaling PCG is invariant under.  Every digit of the scan
+matches:
+
+    m = 2:  1.00,  5.00
+    m = 3:  1.00, −2.00,   7.00
+    m = 4:  1.00,  7.00, −24.50, 31.50
+
+The second block shows the *measured-interval* fit the solver actually
+uses (tighter interval → better conditioned q), which is why our Tables
+2/3 parametrized rows converge at least as fast as the paper's.
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import (
+    PAPER_TABLE1,
+    fit_report,
+    least_squares_coefficients,
+    minmax_coefficients,
+    normalize_leading,
+)
+
+from _common import cached_interval, emit, run_once
+
+
+def build_table() -> tuple[str, bool]:
+    table = Table(
+        "Table 1 — α values for the m-step SSOR PCG method "
+        "(uniform least squares on [0, 1], normalized α₀ = 1)",
+        ["m", "α₀", "α₁", "α₂", "α₃", "paper row", "exact match"],
+    )
+    all_match = True
+    for m, paper in PAPER_TABLE1.items():
+        ours = normalize_leading(least_squares_coefficients(m, (0.0, 1.0)))
+        match = bool(np.allclose(ours, paper, atol=5e-3))
+        all_match &= match
+        padded = [round(float(v), 4) for v in ours] + [None] * (4 - m)
+        table.add_row(m, *padded, ", ".join(f"{v:g}" for v in paper), match)
+    table.add_note("PCG is invariant under the α₀ = 1 normalization")
+
+    interval = cached_interval(20)
+    measured = Table(
+        f"Solver variant: fit on the measured spectrum "
+        f"[{interval[0]:.4f}, {interval[1]:.4f}] of the a = 20 plate",
+        ["m", "criterion", "α₀", "α₁", "α₂", "α₃", "max|1−q|", "κ bound"],
+    )
+    for m in (2, 3, 4):
+        for criterion, fitter in (
+            ("least-squares", least_squares_coefficients),
+            ("min–max", minmax_coefficients),
+        ):
+            coeffs = fitter(m, interval)
+            report = fit_report(coeffs, interval)
+            padded = list(coeffs) + [None] * (4 - len(coeffs))
+            measured.add_row(
+                m, criterion, *padded, report.max_deviation, report.condition_bound
+            )
+    measured.add_note("q must stay positive on the interval (SPD M) — all rows do")
+    return table.render() + "\n\n" + measured.render(), all_match
+
+
+def test_table1(benchmark):
+    text, all_match = run_once(benchmark, build_table)
+    emit("table1_alpha_values", text)
+    assert all_match, "Table 1 no longer reproduces exactly"
+
+
+def test_least_squares_fit_speed(benchmark):
+    """Micro-benchmark: one least-squares coefficient fit (m = 4)."""
+    interval = cached_interval(20)
+    coeffs = benchmark(least_squares_coefficients, 4, interval)
+    assert coeffs.shape == (4,)

@@ -1,0 +1,48 @@
+"""Ablation — the CYBER vector-efficiency curve and inner-product penalty.
+
+Section 3.1's machine characterization: "For vectors of length 1000 around
+90% efficiency is obtained, but this drops to approximately 50% or less for
+vectors of length 100 and 10% for vectors of length 10."  The single
+startup constant s = 100 reproduces all three (efficiency = n/(n+100)).
+The second table shows the inner product's relative cost — the paper's
+motivation for reducing the number of CG iterations in the first place.
+"""
+
+from repro.analysis import Table
+from repro.machines import CYBER_203
+
+from _common import emit, run_once
+
+
+def build_table():
+    model = CYBER_203
+    eff = Table(
+        "CYBER vector efficiency e(n) = n/(n + s), s = 100",
+        ["n", "efficiency", "paper quote"],
+    )
+    for n, quote in ((10, "≈10%"), (100, "≈50%"), (1000, "≈90%"),
+                     (132, "—"), (561, "—"), (1282, "—"), (2134, "—")):
+        eff.add_row(n, model.efficiency(n), quote)
+
+    dot = Table(
+        "Inner-product penalty: dot(n) / vector_op(n)",
+        ["n", "vector op (µs)", "dot (µs)", "ratio"],
+    )
+    for n in (10, 100, 132, 561, 1000, 1282, 2134, 10000):
+        t_op = model.vector_op_time(n) * 1e6
+        t_dot = model.dot_time(n) * 1e6
+        dot.add_row(n, t_op, t_dot, t_dot / t_op)
+    dot.add_note("the log₂-halving partial-sum phase dominates at short lengths")
+    return eff.render() + "\n\n" + dot.render(), model
+
+
+def test_vector_efficiency(benchmark):
+    text, model = run_once(benchmark, build_table)
+    emit("ablation_vector_efficiency", text)
+    assert abs(model.efficiency(1000) - 0.9) < 0.02
+    assert abs(model.efficiency(100) - 0.5) < 0.01
+    assert abs(model.efficiency(10) - 0.1) < 0.01
+    # dot is always the slow operation, and relatively slower when short.
+    assert model.dot_time(100) / model.vector_op_time(100) > model.dot_time(
+        10000
+    ) / model.vector_op_time(10000)

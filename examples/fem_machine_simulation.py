@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Finite Element Machine simulation: Table 3 plus machine internals.
+
+Solves the paper's 60-equation plate on 1, 2, and 5 simulated processors,
+printing iterations, simulated seconds, and speedups (Table 3), then shows
+what the abstract numbers are made of: the processor assignments
+(Figure 5), the local links in use (Figure 4), and the communication
+ledger (records and words per processor pair).
+
+Run:  python examples/fem_machine_simulation.py
+"""
+
+from repro import plate_problem
+from repro.analysis import Table
+from repro.driver import build_blocked_system, mstep_coefficients, ssor_interval
+from repro.machines import FiniteElementMachine, speedup_table
+
+
+def main() -> None:
+    problem = plate_problem(6)
+    blocked = build_blocked_system(problem)
+    interval = ssor_interval(blocked)
+    machines = {
+        p: FiniteElementMachine(problem, p, blocked=blocked) for p in (1, 2, 5)
+    }
+
+    for p in (2, 5):
+        print(f"--- {p}-processor assignment (Figure 5) ---")
+        print(machines[p].assignment.ascii_map())
+        print(f"color balance: {machines[p].assignment.balance_report()}, "
+              f"links used: {sorted(machines[p].assignment.links_used)}\n")
+
+    table = Table(
+        "Finite Element Machine, m-step SSOR PCG (paper Table 3)",
+        ["m", "I", "T(P=1)", "T(P=2)", "speedup", "T(P=5)", "speedup"],
+    )
+    for m, parametrized in [
+        (0, False), (1, False), (2, False), (2, True), (3, False),
+        (3, True), (4, False), (4, True), (5, True), (6, True),
+    ]:
+        coeffs = mstep_coefficients(m, parametrized, interval) if m else None
+        results = {p: machines[p].solve(m, coeffs, eps=1e-6) for p in (1, 2, 5)}
+        speedups = speedup_table(results)
+        table.add_row(
+            results[1].label,
+            results[1].iterations,
+            results[1].seconds,
+            results[2].seconds,
+            speedups[2],
+            results[5].seconds,
+            speedups[5],
+        )
+    table.add_note("paper speedups: 1.92 → 1.80 (P=2), 3.58 → 3.06 (P=5)")
+    print(table.render())
+
+    # Where the overhead goes (observation 3 of Section 4).
+    detail = Table(
+        "Overhead decomposition on 5 processors",
+        ["m", "compute s", "border-comm s", "reduction s", "flag s", "records"],
+    )
+    for m in (0, 3, 6):
+        coeffs = mstep_coefficients(m, True, interval) if m else None
+        r = machines[5].solve(m, coeffs, eps=1e-6)
+        detail.add_row(
+            r.label, r.compute_seconds, r.comm_seconds,
+            r.reduction_seconds, r.flag_seconds, r.total_records,
+        )
+    detail.add_note(
+        "with m > 0 the preconditioner's border exchanges dominate the "
+        "inner-product reductions — the paper's observation (3)"
+    )
+    print()
+    print(detail.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Irregular regions: the paper's open problem, end to end.
+
+The conclusions of Adams (1983) flag irregular domains as future work —
+"the grid must be colored and for array machines must also be distributed
+to the processors in light of this coloring."  This example does both
+halves on an L-shaped plate:
+
+1. color the irregular mesh with greedy multicoloring (no closed-form
+   R/B/G rule exists here) and run the unchanged m-step SSOR PCG method;
+2. recover the stress field and locate the re-entrant-corner concentration
+   (the reason engineers care about L-shaped domains).
+
+Run:  python examples/irregular_region.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.driver import build_blocked_system, solve_mstep_ssor, ssor_interval
+from repro.fem import l_shaped_problem
+from repro.fem.stress import nodal_stresses, von_mises
+
+
+def main() -> None:
+    problem = l_shaped_problem(13, notch_fraction=0.5)
+    print("L-shaped domain ('x' clamped, '#' active, '.' removed):")
+    print(problem.domain_ascii())
+    print(f"\n{problem.n} unknowns, greedy coloring found "
+          f"{problem.n_groups} color groups\n")
+
+    blocked = build_blocked_system(problem)
+    interval = ssor_interval(blocked)
+    table = Table(
+        "m-step SSOR PCG on the L-shaped plate",
+        ["m", "iterations", "‖r‖∞"],
+    )
+    best = None
+    for m, par in [(0, False), (1, False), (2, False), (2, True), (4, True), (6, True)]:
+        solve = solve_mstep_ssor(
+            problem, m, parametrized=par, interval=interval,
+            blocked=blocked, eps=1e-8,
+        )
+        resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
+        table.add_row(solve.label, solve.iterations, resid)
+        best = solve
+    print(table.render())
+
+    # Stress hot spot: the re-entrant corner. Map the reduced solution back
+    # to the full mesh for recovery (inactive nodes stay at zero).
+    mesh = problem.mesh
+    u_full_mesh = np.zeros(mesh.n_unknowns)
+    rank = mesh.node_rank
+    for local, node in enumerate(problem.free_nodes):
+        r = int(rank[node])
+        u_full_mesh[2 * r] = best.u[2 * local]
+        u_full_mesh[2 * r + 1] = best.u[2 * local + 1]
+    nodal = nodal_stresses(mesh, problem.material, u_full_mesh)
+    vm = von_mises(nodal)
+    active = problem.active_nodes
+    hot = active[np.argmax(vm[active])]
+    i, j = mesh.node_ij(int(hot))
+    print(f"\npeak von Mises stress {vm[hot]:.3f} at grid node (col {i}, row {j})")
+    print("(on the reduced section next to the notch, where the load "
+          "concentrates — the engineering answer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no network and no `wheel` package, so the
+PEP-517 editable path (which builds a wheel) is unavailable; this file lets
+setuptools' classic `develop` command handle `pip install -e .` instead.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

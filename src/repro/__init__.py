@@ -1,0 +1,89 @@
+"""repro — reproduction of Adams (1983), *An M-Step Preconditioned Conjugate
+Gradient Method for Parallel Computation* (NASA CR-172150 / ICPP 1983).
+
+Quickstart
+----------
+>>> from repro import plate_problem, solve_mstep_ssor
+>>> problem = plate_problem(6)                       # the paper's 60-equation plate
+>>> solve = solve_mstep_ssor(problem, m=0)           # plain CG
+>>> better = solve_mstep_ssor(problem, m=4, parametrized=True)
+>>> better.iterations < solve.iterations
+True
+
+Package map
+-----------
+``repro.core``        Algorithm 1 (PCG), splittings, the m-step
+                      preconditioner, polynomial parametrization, spectra.
+``repro.multicolor``  Multicolor orderings, the block system (3.1), and the
+                      Conrad–Wallach m-step SSOR (Algorithm 2).
+``repro.fem``         The plane-stress plate substrate (Figures 1–2).
+``repro.machines``    Simulators of the CYBER 203/205 and the Finite Element
+                      Machine with calibrated cost models (Sections 3–4).
+``repro.analysis``    The performance model (4.1)/(4.2) and reporting.
+``repro.driver``      One-call m-step multicolor SSOR PCG solves.
+"""
+
+from repro.core import (
+    DeltaInfNorm,
+    IdentityPreconditioner,
+    JacobiSplitting,
+    MStepPreconditioner,
+    PCGResult,
+    RelativeResidual,
+    SSORSplitting,
+    cg,
+    condition_number,
+    fit_report,
+    least_squares_coefficients,
+    minmax_coefficients,
+    neumann_coefficients,
+    pcg,
+    spectrum_interval,
+)
+from repro.driver import (
+    MStepSolve,
+    build_blocked_system,
+    mstep_coefficients,
+    solve_mstep_ssor,
+    ssor_interval,
+)
+from repro.fem import (
+    ElasticMaterial,
+    PlateMesh,
+    plate_problem,
+    poisson_problem,
+)
+from repro.multicolor import BlockedMatrix, MStepSSOR, MulticolorOrdering
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeltaInfNorm",
+    "IdentityPreconditioner",
+    "JacobiSplitting",
+    "MStepPreconditioner",
+    "PCGResult",
+    "RelativeResidual",
+    "SSORSplitting",
+    "cg",
+    "condition_number",
+    "fit_report",
+    "least_squares_coefficients",
+    "minmax_coefficients",
+    "neumann_coefficients",
+    "pcg",
+    "spectrum_interval",
+    "MStepSolve",
+    "build_blocked_system",
+    "mstep_coefficients",
+    "solve_mstep_ssor",
+    "ssor_interval",
+    "ElasticMaterial",
+    "PlateMesh",
+    "plate_problem",
+    "poisson_problem",
+    "BlockedMatrix",
+    "MStepSSOR",
+    "MulticolorOrdering",
+    "__version__",
+]

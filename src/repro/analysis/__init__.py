@@ -1,0 +1,34 @@
+"""Analysis layer: the performance model of Section 4 and reporting.
+
+* :mod:`repro.analysis.models` — the execution-time model
+  ``T_m = (A + m·B)·N_m`` (4.1), the two inequalities (4.2) that decide
+  when m+1 steps beat m, and optimal-m selection;
+* :mod:`repro.analysis.condition` — κ(M_m⁻¹K)-versus-m studies and the
+  Adams-1982 bound;
+* :mod:`repro.analysis.reporting` — paper-style ASCII tables.
+"""
+
+from repro.analysis.condition import ConditionStudy, condition_study
+from repro.analysis.models import (
+    Inequality42,
+    PerformanceModel,
+    effective_optimal_m,
+    fit_iteration_model,
+    inequality_42,
+    optimal_m,
+)
+from repro.analysis.reporting import Table, ascii_plot, format_table
+
+__all__ = [
+    "ConditionStudy",
+    "condition_study",
+    "Inequality42",
+    "PerformanceModel",
+    "effective_optimal_m",
+    "fit_iteration_model",
+    "inequality_42",
+    "optimal_m",
+    "Table",
+    "ascii_plot",
+    "format_table",
+]

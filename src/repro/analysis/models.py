@@ -1,0 +1,152 @@
+"""The execution-time model of Section 4.
+
+The paper models the m-step method's time as
+
+```
+T_m = (A + m·B) · N_m                                    (4.1)
+```
+
+with ``A`` the cost of one outer conjugate-gradient iteration, ``B`` the
+cost of one preconditioner step, and ``N_m`` the iteration count.  Assuming
+``N_{m+1} < N_m``, taking m+1 steps beats m steps whenever either
+
+```
+(1)  (m+1)·N_{m+1} − m·N_m < 0          (fewer total inner loops), or
+(2)  B/A < (N_m − N_{m+1}) / ((m+1)·N_{m+1} − m·N_m)      (4.2)
+```
+
+— inequality (2) applying when its denominator is positive.  The paper
+evaluates (2) at m = 9 for the a = 41, 62, 80 meshes to explain why ten
+steps pay off only on the largest problem.
+
+:class:`PerformanceModel` packages measured (A, B); :func:`inequality_42`
+evaluates the decision at one m; :func:`optimal_m` scans a measured
+``N_m`` profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import require
+
+__all__ = [
+    "PerformanceModel",
+    "Inequality42",
+    "inequality_42",
+    "optimal_m",
+    "effective_optimal_m",
+    "fit_iteration_model",
+]
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Measured per-iteration costs: ``T_m = (A + m·B)·N_m``."""
+
+    a: float  # one outer CG iteration
+    b: float  # one preconditioner step
+
+    def __post_init__(self) -> None:
+        require(self.a > 0, "A must be positive")
+        require(self.b >= 0, "B must be non-negative")
+
+    @property
+    def b_over_a(self) -> float:
+        return self.b / self.a
+
+    def predicted_time(self, m: int, n_m: float) -> float:
+        """(4.1) for a given iteration count."""
+        require(m >= 0, "m must be non-negative")
+        return (self.a + m * self.b) * n_m
+
+
+@dataclass(frozen=True)
+class Inequality42:
+    """The (4.2) decision at one m: should we take m+1 steps instead?"""
+
+    m: int
+    n_m: int
+    n_m_plus_1: int
+    b_over_a: float
+    condition_1: bool
+    threshold: float  # right side of inequality (2); inf when (1) already holds
+    beneficial: bool
+
+    def sides(self) -> tuple[float, float]:
+        """(left, right) of inequality (2) — the pairs the paper prints."""
+        return self.b_over_a, self.threshold
+
+
+def inequality_42(
+    m: int, n_m: int, n_m_plus_1: int, model: PerformanceModel
+) -> Inequality42:
+    """Evaluate (4.2): is m+1 steps better than m steps?"""
+    require(m >= 0, "m must be non-negative")
+    require(n_m > 0 and n_m_plus_1 > 0, "iteration counts must be positive")
+    inner_loops_delta = (m + 1) * n_m_plus_1 - m * n_m
+    condition_1 = inner_loops_delta < 0
+    if condition_1:
+        threshold = float("inf")
+        beneficial = True
+    elif inner_loops_delta == 0:
+        # Equal inner loops: m+1 trades one outer iteration structure for
+        # another; beneficial iff it saves outer iterations at all.
+        threshold = float("inf") if n_m_plus_1 < n_m else 0.0
+        beneficial = n_m_plus_1 < n_m
+    else:
+        threshold = (n_m - n_m_plus_1) / inner_loops_delta
+        beneficial = model.b_over_a < threshold
+    return Inequality42(
+        m=m,
+        n_m=n_m,
+        n_m_plus_1=n_m_plus_1,
+        b_over_a=model.b_over_a,
+        condition_1=condition_1,
+        threshold=threshold,
+        beneficial=beneficial,
+    )
+
+
+def optimal_m(iteration_counts: dict[int, int], model: PerformanceModel) -> int:
+    """The m minimizing (4.1) over a measured ``m → N_m`` profile."""
+    require(len(iteration_counts) > 0, "need at least one measurement")
+    times = {
+        m: model.predicted_time(m, n_m) for m, n_m in iteration_counts.items()
+    }
+    return min(times, key=times.__getitem__)
+
+
+def effective_optimal_m(times: dict[int, float], rel_tol: float = 0.02) -> int:
+    """Smallest m whose time is within ``rel_tol`` of the minimum.
+
+    The T_m curves of Table 2 are nearly flat around their minimum (the
+    paper's own a = 20 column has 0.347/0.348/0.350 s at 5P/6P/4P), so the
+    argmin is noise-sensitive; this plateau-tolerant version is the robust
+    statistic for "how many steps are worth taking".
+    """
+    require(len(times) > 0, "need at least one measurement")
+    require(rel_tol >= 0, "tolerance must be non-negative")
+    t_min = min(times.values())
+    return min(m for m, t in times.items() if t <= (1.0 + rel_tol) * t_min)
+
+
+def fit_iteration_model(
+    iteration_counts: dict[int, int]
+) -> tuple[float, float]:
+    """Fit ``N_m ≈ c / sqrt(1 − (1−μ̄)^m)``-style decay as ``N_m ≈ c·m^(−p)``.
+
+    The paper wishes ``N_m`` "could be expressed as a function of m"; a
+    power law is the pragmatic stand-in that lets :func:`optimal_m` be
+    extrapolated beyond measured m.  Returns ``(c, p)`` for
+    ``N_m ≈ c·m^{−p}`` fitted on m ≥ 1 by log-log least squares.
+    """
+    ms = np.array([m for m in sorted(iteration_counts) if m >= 1], dtype=float)
+    require(ms.size >= 2, "need at least two m ≥ 1 measurements")
+    ns = np.array([iteration_counts[int(m)] for m in ms], dtype=float)
+    coeffs = np.polyfit(np.log(ms), np.log(ns), 1)
+    p = -float(coeffs[0])
+    c = float(np.exp(coeffs[1]))
+    return c, p

@@ -1,0 +1,116 @@
+"""Paper-style ASCII tables.
+
+The benches regenerate Tables 1–3 and the figures as text; this module
+keeps the formatting in one place so every bench prints the same way and
+EXPERIMENTS.md can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import require
+
+__all__ = ["Table", "format_table", "ascii_plot"]
+
+
+def _render(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "∞"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table with a title and optional notes."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        require(len(values) == len(self.columns), "row width mismatch")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def ascii_plot(
+    title: str,
+    xs,
+    series: dict[str, list],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Monospace line plot of one or more series over a common x-grid.
+
+    Used by the examples to show the eigenvalue maps ``q(μ)`` of competing
+    parametrizations; each series gets the first letter of its label as
+    its marker.
+    """
+    require(len(series) > 0, "need at least one series")
+    xs = [float(x) for x in xs]
+    require(len(xs) >= 2, "need at least two points")
+    all_ys = [float(y) for ys in series.values() for y in ys]
+    lo, hi = min(all_ys), max(all_ys)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = min(xs), max(xs)
+
+    def col(x):
+        return int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def row(y):
+        return (height - 1) - int(round((y - lo) / (hi - lo) * (height - 1)))
+
+    for label, ys in series.items():
+        require(len(ys) == len(xs), f"series {label!r} length mismatch")
+        marker = label[0]
+        for x, y in zip(xs, ys):
+            grid[row(float(y))][col(x)] = marker
+
+    legend = "   ".join(f"{label[0]} = {label}" for label in series)
+    lines = [title, f"y ∈ [{lo:.3g}, {hi:.3g}]  x ∈ [{x_min:.3g}, {x_max:.3g}]"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines += ["+" + "-" * width, f"  {legend}"]
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    columns: list[str],
+    rows: list[list],
+    notes: list[str] | None = None,
+) -> str:
+    """Render a monospace table."""
+    rendered = [[_render(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    header = sep.join(c.rjust(w) for c, w in zip(columns, widths))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in rendered:
+        lines.append(sep.join(cell.rjust(w) for cell, w in zip(row, widths)))
+    lines.append(rule)
+    for note in notes or []:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

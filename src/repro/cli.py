@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's artifacts and runs one-off solves without writing
+any code:
+
+```
+python -m repro table1                      # α values (exact reproduction)
+python -m repro table3                      # Finite Element Machine table
+python -m repro fig1 --rows 6 --cols 6      # plate coloring
+python -m repro solve --rows 20 --m 4 -P    # one m-step SSOR PCG solve
+python -m repro cyber --rows 20 --m 5 -P    # one simulated CYBER solve
+python -m repro recommend --rows 20 --b-over-a 0.7
+```
+
+(The heavyweight Table-2 sweep lives in ``benchmarks/bench_table2.py``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis import Table
+    from repro.core import (
+        PAPER_TABLE1,
+        least_squares_coefficients,
+        normalize_leading,
+    )
+
+    table = Table(
+        "Table 1 — α values (uniform least squares on [0, 1], α₀ = 1)",
+        ["m", "computed", "paper", "match"],
+    )
+    for m, paper in PAPER_TABLE1.items():
+        ours = normalize_leading(least_squares_coefficients(m, (0.0, 1.0)))
+        match = bool(np.allclose(ours, paper, atol=5e-3))
+        table.add_row(
+            m,
+            ", ".join(f"{v:.2f}" for v in ours),
+            ", ".join(f"{v:g}" for v in paper),
+            match,
+        )
+    print(table.render())
+    return 0
+
+
+def _build_plate(args):
+    from repro import plate_problem
+    from repro.driver import build_blocked_system, ssor_interval
+
+    problem = plate_problem(args.rows, ncols=args.cols)
+    blocked = build_blocked_system(problem)
+    interval = ssor_interval(blocked) if args.parametrized else None
+    return problem, blocked, interval
+
+
+def _cmd_solve(args) -> int:
+    from repro.driver import solve_mstep_ssor
+
+    problem, blocked, interval = _build_plate(args)
+    solve = solve_mstep_ssor(
+        problem,
+        args.m,
+        parametrized=args.parametrized,
+        interval=interval,
+        blocked=blocked,
+        eps=args.eps,
+    )
+    resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
+    print(f"problem : {problem.mesh}")
+    print(f"method  : m = {solve.label} ({solve.result.stop_rule})")
+    print(f"iterations: {solve.iterations}  converged: {solve.result.converged}")
+    print(f"‖f − K u‖∞: {resid:.3e}")
+    print(f"inner products: {solve.result.counter.inner_products}")
+    return 0 if solve.result.converged else 1
+
+
+def _cmd_cyber(args) -> int:
+    from repro.driver import mstep_coefficients
+    from repro.machines import CyberMachine
+
+    problem, _, interval = _build_plate(args)
+    machine = CyberMachine(problem)
+    coeffs = (
+        mstep_coefficients(args.m, args.parametrized, interval)
+        if args.m
+        else None
+    )
+    res = machine.solve(args.m, coeffs, eps=args.eps)
+    print(f"CYBER 203 simulation: {problem.mesh} (v = {res.max_vector_length})")
+    print(f"m = {res.label}: I = {res.iterations}, T = {res.seconds:.4f} s")
+    print(f"preconditioner share: {res.preconditioner_seconds / res.seconds:.1%}"
+          if res.seconds else "")
+    return 0 if res.converged else 1
+
+
+def _cmd_table3(args) -> int:
+    from repro.analysis import Table
+    from repro.driver import mstep_coefficients, ssor_interval, build_blocked_system
+    from repro import plate_problem
+    from repro.machines import FiniteElementMachine, speedup_table
+
+    problem = plate_problem(6)
+    blocked = build_blocked_system(problem)
+    interval = ssor_interval(blocked)
+    machines = {
+        p: FiniteElementMachine(problem, p, blocked=blocked) for p in (1, 2, 5)
+    }
+    table = Table(
+        "Finite Element Machine (Table 3)",
+        ["m", "I", "T(P=1)", "T(P=2)", "su", "T(P=5)", "su"],
+    )
+    for m, par in [(0, False), (1, False), (2, False), (2, True), (3, False),
+                   (3, True), (4, False), (4, True), (5, True), (6, True)]:
+        coeffs = mstep_coefficients(m, par, interval) if m else None
+        res = {p: machines[p].solve(m, coeffs) for p in (1, 2, 5)}
+        su = speedup_table(res)
+        table.add_row(res[1].label, res[1].iterations, res[1].seconds,
+                      res[2].seconds, su[2], res[5].seconds, su[5])
+    print(table.render())
+    return 0
+
+
+def _cmd_fig1(args) -> int:
+    from repro.fem import PlateMesh
+
+    mesh = PlateMesh(args.rows, args.cols or args.rows)
+    mesh.validate_coloring()
+    print(mesh.coloring_ascii())
+    counts = mesh.color_counts()
+    print(f"colors (R, B, G): {tuple(int(c) for c in counts)}; "
+          f"max vector length v = {mesh.max_vector_length()}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.analysis import PerformanceModel, Table
+    from repro.core.autotune import recommend_m
+
+    _, _, interval = _build_plate(args)
+    model = PerformanceModel(a=1.0, b=args.b_over_a)
+    rec = recommend_m(interval, model, m_max=args.m_max)
+    table = Table(
+        f"Model-predicted cost (A = 1, B/A = {args.b_over_a}) on the "
+        f"a = {args.rows} plate",
+        ["m", "κ bound", "(A+mB)·√κ"],
+    )
+    for m in sorted(rec.scores):
+        table.add_row(m, rec.kappas[m], rec.scores[m])
+    table.add_note(f"recommended m = {rec.m}")
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adams (1983) m-step preconditioned CG — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_plate_args(p, with_m=True):
+        p.add_argument("--rows", type=int, default=20, help="rows of nodes (a)")
+        p.add_argument("--cols", type=int, default=None, help="columns (default a)")
+        if with_m:
+            p.add_argument("--m", type=int, default=3, help="preconditioner steps")
+            p.add_argument(
+                "-P", "--parametrized", action="store_true",
+                help="least-squares parametrized coefficients",
+            )
+            p.add_argument("--eps", type=float, default=1e-6, help="‖Δu‖∞ tolerance")
+
+    sub.add_parser("table1", help="Table 1 α values (exact reproduction)")
+    sub.add_parser("table3", help="Finite Element Machine table")
+    p_solve = sub.add_parser("solve", help="one m-step SSOR PCG solve")
+    add_plate_args(p_solve)
+    p_cyber = sub.add_parser("cyber", help="one simulated CYBER 203 solve")
+    add_plate_args(p_cyber)
+    p_fig1 = sub.add_parser("fig1", help="plate coloring (Figure 1)")
+    add_plate_args(p_fig1, with_m=False)
+    p_rec = sub.add_parser("recommend", help="model-based m recommendation")
+    add_plate_args(p_rec, with_m=False)
+    p_rec.add_argument("--b-over-a", type=float, default=0.7,
+                       help="preconditioner-step to CG-iteration cost ratio")
+    p_rec.add_argument("--m-max", type=int, default=10)
+    p_rec.add_argument("--parametrized", action="store_true", default=True,
+                       help=argparse.SUPPRESS)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "table3": _cmd_table3,
+        "solve": _cmd_solve,
+        "cyber": _cmd_cyber,
+        "fig1": _cmd_fig1,
+        "recommend": _cmd_recommend,
+    }
+    if args.command in ("solve", "cyber") and not hasattr(args, "parametrized"):
+        args.parametrized = False
+    if args.command in ("fig1",):
+        args.parametrized = False
+    if args.command == "recommend":
+        args.parametrized = True
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""The m-step preconditioner ``M_m`` of Section 2 (equations 2.2 / 2.6).
+
+``M_m⁻¹ = (α₀ I + α₁ G + … + α_{m−1} G^{m−1}) P⁻¹`` for a splitting
+``K = P − Q`` with ``G = P⁻¹Q``.  Setting every ``αᵢ = 1`` recovers the
+unparametrized preconditioner (2.2) — "m steps of the iterative method" —
+and for the Jacobi splitting the truncated Neumann series.
+
+Application uses the Horner recurrence the paper builds Algorithm 2 around:
+
+```
+r̃ ← 0;  repeat m times (s = 1 … m):  r̃ ← G r̃ + α_{m−s} · P⁻¹ r
+```
+
+costing one ``P⁻¹`` solve up front plus ``(m−1)`` products with ``K`` and
+``(m−1)`` further ``P⁻¹`` solves.  ``M_m`` is symmetric whenever ``P`` is
+(Adams 1982 gives the precise SPD conditions; for the SSOR splitting with
+0 < ω < 2 they hold, and positivity on the spectrum is checked separately by
+:func:`repro.core.polynomial.fit_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.splittings import Splitting
+from repro.util import OperationCounter, require
+
+__all__ = ["MStepPreconditioner", "IdentityPreconditioner"]
+
+
+@dataclass
+class IdentityPreconditioner:
+    """``M = I`` — plain conjugate gradients ("K = I" in the paper)."""
+
+    counter: OperationCounter = field(default_factory=OperationCounter)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        self.counter.precond_applications += 1
+        return np.asarray(r, dtype=float).copy()
+
+    @property
+    def m(self) -> int:
+        return 0
+
+
+class MStepPreconditioner:
+    """Generic (splitting-based) m-step preconditioner.
+
+    Parameters
+    ----------
+    splitting:
+        The splitting providing ``P⁻¹`` and ``G``.  Must be symmetric for
+        use inside PCG (checked; pass ``allow_nonsymmetric=True`` only for
+        experiments outside PCG).
+    coefficients:
+        ``(α₀, …, α_{m−1})``; use ``np.ones(m)`` for the unparametrized
+        method (2.2).
+    """
+
+    def __init__(
+        self,
+        splitting: Splitting,
+        coefficients: np.ndarray,
+        allow_nonsymmetric: bool = False,
+    ):
+        coefficients = np.atleast_1d(np.asarray(coefficients, dtype=float))
+        require(coefficients.ndim == 1 and coefficients.size >= 1,
+                "coefficients must be a non-empty vector")
+        if not splitting.symmetric and not allow_nonsymmetric:
+            raise ValueError(
+                f"{splitting.name} splitting gives a nonsymmetric M; PCG requires "
+                "symmetric positive definite preconditioning (Section 2.1)"
+            )
+        self.splitting = splitting
+        self.coefficients = coefficients
+        self.counter = OperationCounter()
+
+    @property
+    def m(self) -> int:
+        return int(self.coefficients.size)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """``M_m⁻¹ r`` via the Horner recurrence."""
+        r = np.asarray(r, dtype=float)
+        q = self.splitting.apply_p_inv(r)  # shared P⁻¹ r
+        solves = 1
+        matvecs = 0
+        rt = self.coefficients[self.m - 1] * q
+        for s in range(2, self.m + 1):
+            rt = rt - self.splitting.apply_p_inv(self.splitting.k @ rt)
+            rt += self.coefficients[self.m - s] * q
+            solves += 1
+            matvecs += 1
+        self.counter.precond_applications += 1
+        self.counter.precond_steps += self.m
+        self.counter.extra["p_solves"] = self.counter.extra.get("p_solves", 0) + solves
+        self.counter.extra["inner_matvecs"] = (
+            self.counter.extra.get("inner_matvecs", 0) + matvecs
+        )
+        return rt
+
+    def as_dense_operator(self) -> np.ndarray:
+        """Materialize ``M_m⁻¹`` column by column (analysis/tests only)."""
+        n = self.splitting.n
+        eye = np.eye(n)
+        out = np.empty((n, n))
+        for col in range(n):
+            out[:, col] = self.apply(eye[:, col])
+        return out

@@ -1,0 +1,216 @@
+"""The preconditioned conjugate gradient driver (Algorithm 1).
+
+This is the paper's Algorithm 1 verbatim (after Chandra 1978):
+
+```
+choose u⁰;  r⁰ = f − K u⁰;  solve M r̃⁰ = r⁰;  p⁰ = r̃⁰
+for k = 0, 1, …:
+    (1) α = (r̃ᵏ, rᵏ) / (pᵏ, K pᵏ)
+    (2) u^{k+1} = uᵏ + α pᵏ
+    (3) if ‖u^{k+1} − uᵏ‖_∞ < ε: stop
+    (4) r^{k+1} = rᵏ − α K pᵏ
+    (5) solve M r̃^{k+1} = r^{k+1}
+    (6) β = (r̃^{k+1}, r^{k+1}) / (r̃ᵏ, rᵏ)
+    (7) p^{k+1} = r̃^{k+1} + β pᵏ
+```
+
+Two global inner products per iteration — the quantity whose cost on vector
+machines and processor arrays motivates the whole paper — plus one matrix
+product and one preconditioner application.  ``M = I`` (no preconditioner)
+gives standard conjugate gradients.
+
+The driver is ordering- and storage-agnostic: ``k`` may be any object with
+``@`` (scipy sparse, ndarray, LinearOperator) and the preconditioner any
+object with ``apply(r) → r̃``.  The machine simulators re-implement this
+same loop on their own kernels; tests pin their iterates to this reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import DeltaInfNorm, StoppingRule
+from repro.core.mstep import IdentityPreconditioner
+from repro.util import OperationCounter, inf_norm, inner, require
+
+__all__ = ["PCGResult", "pcg", "cg"]
+
+
+@dataclass
+class PCGResult:
+    """Outcome of a PCG solve.
+
+    Attributes
+    ----------
+    u:
+        Final iterate (in the ordering of the inputs).
+    iterations:
+        Number of completed iterations (the paper's ``I``): the iteration
+        at which the convergence test first passed.
+    converged:
+        Whether the stopping rule fired before ``maxiter``.
+    delta_history:
+        ``‖u^{k+1} − uᵏ‖_∞`` per iteration (drives the paper's test).
+    residual_history:
+        ``‖rᵏ‖₂`` per iteration if residual tracking was requested (costs an
+        extra reduction per iteration on a real machine, hence optional).
+    counter:
+        Outer-loop operation counts; preconditioner-internal work is tallied
+        on the preconditioner's own counter.
+    """
+
+    u: np.ndarray
+    iterations: int
+    converged: bool
+    delta_history: list[float] = field(default_factory=list)
+    residual_history: list[float] = field(default_factory=list)
+    counter: OperationCounter = field(default_factory=OperationCounter)
+    stop_rule: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "converged" if self.converged else "NOT converged"
+        return f"PCGResult({tag} in {self.iterations} iterations, {self.stop_rule})"
+
+
+def pcg(
+    k,
+    f: np.ndarray,
+    preconditioner=None,
+    u0: np.ndarray | None = None,
+    stopping: StoppingRule | None = None,
+    eps: float = 1e-6,
+    maxiter: int | None = None,
+    track_residual: bool = False,
+    callback=None,
+) -> PCGResult:
+    """Solve SPD ``K u = f`` by Algorithm 1.
+
+    Parameters
+    ----------
+    k:
+        The operator ``K`` (anything supporting ``k @ x``).
+    f:
+        Right-hand side.
+    preconditioner:
+        Object with ``apply(r) → M⁻¹r``; ``None`` means ``M = I`` (plain CG).
+    u0:
+        Starting guess (default zero).
+    stopping:
+        A :class:`StoppingRule`; default is the paper's
+        ``‖Δu‖_∞ < eps``.
+    eps:
+        Tolerance for the default rule (ignored when ``stopping`` given).
+    maxiter:
+        Iteration cap; default ``5·n + 100``.
+    track_residual:
+        Also record ``‖rᵏ‖₂`` each iteration.
+    callback:
+        Optional ``callback(iteration, u, delta_norm)`` hook.
+    """
+    f = np.asarray(f, dtype=float)
+    n = f.shape[0]
+    require(k.shape == (n, n), "operator/right-hand-side shape mismatch")
+    rule = stopping or DeltaInfNorm(eps=eps)
+    m = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    maxiter = maxiter if maxiter is not None else 5 * n + 100
+    counter = OperationCounter()
+
+    # Snapshot the preconditioner's lifetime counter so only *this solve's*
+    # work is merged into the result (preconditioners are reusable objects).
+    precond_before = m.counter.as_dict() if hasattr(m, "counter") else None
+
+    u = np.zeros(n) if u0 is None else np.array(u0, dtype=float)
+    r = f - k @ u
+    counter.matvecs += 1
+    rt = m.apply(r)
+    p = rt.copy()
+    rho = inner(rt, r)
+    counter.inner_products += 1
+    f_norm = float(np.linalg.norm(f))
+
+    delta_history: list[float] = []
+    residual_history: list[float] = []
+    if track_residual:
+        residual_history.append(float(np.linalg.norm(r)))
+
+    converged = False
+    iterations = 0
+    for iteration in range(1, maxiter + 1):
+        kp = k @ p
+        counter.matvecs += 1
+        denom = inner(p, kp)
+        counter.inner_products += 1
+        if denom <= 0.0:
+            # Exact convergence (p = 0) or loss of positive definiteness.
+            iterations = iteration
+            converged = rho == 0.0
+            break
+        alpha = rho / denom
+
+        step = alpha * p
+        u += step
+        counter.axpys += 1
+        delta_norm = inf_norm(step)
+        delta_history.append(delta_norm)
+        iterations = iteration
+        if callback is not None:
+            callback(iteration, u, delta_norm)
+
+        if not rule.needs_residual and rule.converged(delta_norm, r, f_norm):
+            converged = True
+            break  # steps (4)–(7) skipped, as in Algorithm 1
+
+        r -= alpha * kp
+        counter.axpys += 1
+        if track_residual:
+            residual_history.append(float(np.linalg.norm(r)))
+        if rule.needs_residual and rule.converged(delta_norm, r, f_norm):
+            converged = True
+            break
+
+        rt = m.apply(r)
+        rho_new = inner(rt, r)
+        counter.inner_products += 1
+        beta = rho_new / rho
+        rho = rho_new
+        p = rt + beta * p
+        counter.axpys += 1
+
+    if precond_before is not None:
+        after = m.counter.as_dict()
+        counter.precond_applications += (
+            after["precond_applications"] - precond_before["precond_applications"]
+        )
+        counter.precond_steps += (
+            after["precond_steps"] - precond_before["precond_steps"]
+        )
+        for key, value in after.items():
+            if key in precond_before and key not in (
+                "inner_products",
+                "matvecs",
+                "precond_applications",
+                "precond_steps",
+                "axpys",
+            ):
+                delta = value - precond_before[key]
+                if delta:
+                    counter.extra[key] = counter.extra.get(key, 0) + delta
+            elif key not in precond_before:
+                counter.extra[key] = counter.extra.get(key, 0) + value
+    return PCGResult(
+        u=u,
+        iterations=iterations,
+        converged=converged,
+        delta_history=delta_history,
+        residual_history=residual_history,
+        counter=counter,
+        stop_rule=rule.describe(),
+    )
+
+
+def cg(k, f, **kwargs) -> PCGResult:
+    """Standard conjugate gradients — Algorithm 1 with ``M = I``."""
+    kwargs.pop("preconditioner", None)
+    return pcg(k, f, preconditioner=None, **kwargs)

@@ -1,0 +1,157 @@
+"""High-level driver: the m-step multicolor SSOR PCG method end to end.
+
+Ties the layers together the way Section 3 describes: color the problem,
+permute into the block form (3.1), build the m-step SSOR preconditioner
+(optionally parametrized from the measured spectrum of ``P⁻¹K``), run
+Algorithm 1, and hand back the solution in natural ordering with full
+instrumentation.  This is the API the examples and the Table-2/Table-3
+benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule
+from repro.core.pcg import PCGResult, pcg
+from repro.core.polynomial import (
+    least_squares_coefficients,
+    minmax_coefficients,
+    neumann_coefficients,
+)
+from repro.core.spectral import spectrum_interval
+from repro.core.splittings import SSORSplitting
+from repro.multicolor.blocked import BlockedMatrix
+from repro.multicolor.ordering import MulticolorOrdering
+from repro.multicolor.sor import MStepSSOR
+from repro.util import require
+
+__all__ = [
+    "MStepSolve",
+    "build_blocked_system",
+    "mstep_coefficients",
+    "ssor_interval",
+    "solve_mstep_ssor",
+]
+
+
+def build_blocked_system(problem) -> BlockedMatrix:
+    """Color-order a model problem into the block system (3.1).
+
+    ``problem`` is any object exposing ``k``, ``f``, ``group_of_unknown``
+    and ``group_labels`` (see :mod:`repro.fem.model_problems`).
+    """
+    ordering = MulticolorOrdering.from_groups(
+        problem.group_of_unknown, problem.group_labels
+    )
+    return BlockedMatrix.from_matrix(problem.k, ordering)
+
+
+def ssor_interval(
+    blocked: BlockedMatrix, omega: float = 1.0, safety: float = 0.0
+) -> tuple[float, float]:
+    """``[λ₁, λ_n]`` of ``P⁻¹K`` for the SSOR splitting on the blocked system."""
+    splitting = SSORSplitting(blocked.permuted, omega=omega)
+    return spectrum_interval(splitting, safety=safety)
+
+
+def mstep_coefficients(
+    m: int,
+    parametrized: bool,
+    interval: tuple[float, float] | None,
+    criterion: str = "least_squares",
+    weight: str = "uniform",
+) -> np.ndarray:
+    """The ``αᵢ`` for an m-step method.
+
+    Unparametrized → all ones; parametrized → fitted on ``interval`` by the
+    requested criterion (``"least_squares"`` or ``"minmax"``), as in
+    Section 2.2.
+    """
+    require(m >= 1, "m must be at least 1")
+    if not parametrized:
+        return neumann_coefficients(m)
+    require(interval is not None, "parametrized coefficients need the interval")
+    if criterion == "least_squares":
+        return least_squares_coefficients(m, interval, weight=weight)
+    if criterion == "minmax":
+        return minmax_coefficients(m, interval)
+    raise ValueError(f"unknown parametrization criterion {criterion!r}")
+
+
+@dataclass
+class MStepSolve:
+    """Full record of one m-step SSOR PCG solve."""
+
+    result: PCGResult
+    u: np.ndarray  # natural ordering
+    m: int
+    parametrized: bool
+    coefficients: np.ndarray | None
+    interval: tuple[float, float] | None
+    blocked: BlockedMatrix
+
+    @property
+    def iterations(self) -> int:
+        return self.result.iterations
+
+    @property
+    def label(self) -> str:
+        """Table-2/3 row label: ``0``, ``1``, …, or ``2P``, ``3P``, …"""
+        if self.m == 0:
+            return "0"
+        return f"{self.m}P" if self.parametrized else f"{self.m}"
+
+
+def solve_mstep_ssor(
+    problem,
+    m: int,
+    parametrized: bool = False,
+    criterion: str = "least_squares",
+    weight: str = "uniform",
+    eps: float = 1e-6,
+    stopping: StoppingRule | None = None,
+    interval: tuple[float, float] | None = None,
+    blocked: BlockedMatrix | None = None,
+    maxiter: int | None = None,
+    track_residual: bool = False,
+) -> MStepSolve:
+    """Solve a model problem with the m-step multicolor SSOR PCG method.
+
+    ``m = 0`` runs unpreconditioned CG (the paper's first table row).  For
+    parametrized runs the eigenvalue interval is measured from the operator
+    unless supplied (benchmarks compute it once per mesh and pass it in).
+    """
+    require(m >= 0, "m must be non-negative")
+    blocked = blocked if blocked is not None else build_blocked_system(problem)
+    ordering = blocked.ordering
+    f_mc = ordering.permute_vector(np.asarray(problem.f, dtype=float))
+
+    coefficients = None
+    preconditioner = None
+    if m >= 1:
+        if parametrized and interval is None:
+            interval = ssor_interval(blocked)
+        coefficients = mstep_coefficients(m, parametrized, interval, criterion, weight)
+        preconditioner = MStepSSOR(blocked, coefficients)
+
+    result = pcg(
+        blocked.permuted,
+        f_mc,
+        preconditioner=preconditioner,
+        eps=eps,
+        stopping=stopping,
+        maxiter=maxiter,
+        track_residual=track_residual,
+    )
+    return MStepSolve(
+        result=result,
+        u=ordering.unpermute_vector(result.u),
+        m=m,
+        parametrized=parametrized,
+        coefficients=coefficients,
+        interval=interval,
+        blocked=blocked,
+    )

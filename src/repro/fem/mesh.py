@@ -1,0 +1,273 @@
+"""Rectangular plate mesh with the paper's R/B/G multicolor structure.
+
+Geometry and combinatorics of the test problem in Section 3:
+
+* ``nrows`` rows of nodes (the paper's ``a``) by ``ncols`` columns, the first
+  column fully constrained (so ``b = ncols − 1`` columns of unconstrained
+  nodes and ``N = 2·a·b`` unknowns — two displacements per node).
+* Each grid cell is split into two linear triangles by its **'/' diagonal**
+  (connecting the cell's south-east and north-west corners).  An interior
+  node is then adjacent to exactly six neighbors — W, E, S, N, NW, SE — which
+  with the node itself and two dofs per node yields the ≤14-nonzero stencil
+  of Figure 2.
+* Nodes are colored ``c(i, j) = (i + 2j) mod 3`` (0 = Red, 1 = Black,
+  2 = Green).  Every triangle receives three distinct colors, which is what
+  decouples the equations color-by-color (Figure 1).  This closed form equals
+  the paper's *sequential* R/B/G numbering that wraps from each row to the
+  next precisely when ``ncols ≡ 2 (mod 3)`` — the condition the paper states
+  as "the last node in the first row must be Black".  All of the paper's
+  meshes (a = 20, 41, 62, 80 with square grids) satisfy it.
+
+Node indices are ``node = j·ncols + i`` for column ``i`` (left→right) and row
+``j`` (bottom→top), matching the paper's "left to right, bottom to top"
+numbering within each color.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.util import require
+
+__all__ = ["COLOR_NAMES", "RED", "BLACK", "GREEN", "NEIGHBOR_OFFSETS", "PlateMesh"]
+
+RED, BLACK, GREEN = 0, 1, 2
+COLOR_NAMES = ("R", "B", "G")
+
+#: Offsets (di, dj) of the six mesh neighbors under the '/' triangulation:
+#: west, east, south, north, north-west, south-east (Figure 2).
+NEIGHBOR_OFFSETS: tuple[tuple[int, int], ...] = (
+    (-1, 0),
+    (1, 0),
+    (0, -1),
+    (0, 1),
+    (-1, 1),
+    (1, -1),
+)
+
+
+@dataclass(frozen=True)
+class PlateMesh:
+    """Regular ``nrows × ncols`` plate grid, '/'-triangulated and 3-colored.
+
+    Parameters
+    ----------
+    nrows:
+        Number of rows of nodes (the paper's ``a``).
+    ncols:
+        Number of columns of nodes (``b + 1``; column 0 is constrained).
+    width, height:
+        Physical extents of the plate (default: unit square).
+    """
+
+    nrows: int
+    ncols: int
+    width: float = 1.0
+    height: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.nrows >= 2, "plate needs at least 2 rows of nodes")
+        require(self.ncols >= 2, "plate needs at least 2 columns of nodes")
+        require(self.width > 0 and self.height > 0, "plate extents must be positive")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_nodes(self) -> int:
+        """Total node count including the constrained column."""
+        return self.nrows * self.ncols
+
+    @property
+    def a(self) -> int:
+        """The paper's ``a``: number of rows of nodes."""
+        return self.nrows
+
+    @property
+    def b(self) -> int:
+        """The paper's ``b``: number of columns of *unconstrained* nodes."""
+        return self.ncols - 1
+
+    @property
+    def n_unknowns(self) -> int:
+        """``2·a·b`` — the dimension of the stiffness system (1.1)."""
+        return 2 * self.a * self.b
+
+    @property
+    def sequential_wrap_consistent(self) -> bool:
+        """Whether the sequential R/B/G row-wrap numbering is a valid coloring.
+
+        True iff ``ncols ≡ 2 (mod 3)``, the paper's "last node in the first
+        row must be Black" condition.  The closed-form coloring used here is
+        valid regardless; this flag only reports whether it coincides with the
+        sequential description in Section 3.1.
+        """
+        return self.ncols % 3 == 2
+
+    # ------------------------------------------------------------- node maps
+    def node_id(self, i: int, j: int) -> int:
+        """Node index of column ``i``, row ``j``."""
+        require(0 <= i < self.ncols and 0 <= j < self.nrows, "node out of range")
+        return j * self.ncols + i
+
+    def node_ij(self, node: int) -> tuple[int, int]:
+        """Inverse of :meth:`node_id`: ``(column, row)`` of a node index."""
+        require(0 <= node < self.n_nodes, "node out of range")
+        return node % self.ncols, node // self.ncols
+
+    @cached_property
+    def coordinates(self) -> np.ndarray:
+        """``(n_nodes, 2)`` array of node coordinates."""
+        xs = np.linspace(0.0, self.width, self.ncols)
+        ys = np.linspace(0.0, self.height, self.nrows)
+        xx, yy = np.meshgrid(xs, ys)  # row-major: yy varies along axis 0
+        return np.column_stack([xx.ravel(), yy.ravel()])
+
+    # ---------------------------------------------------------- triangulation
+    @cached_property
+    def triangles(self) -> np.ndarray:
+        """``(n_triangles, 3)`` node indices, counter-clockwise.
+
+        Each cell contributes a lower triangle ``(SW, SE, NW)`` and an upper
+        triangle ``(SE, NE, NW)``; the shared edge SE–NW is the '/' diagonal.
+        """
+        tris = []
+        for j in range(self.nrows - 1):
+            for i in range(self.ncols - 1):
+                sw = self.node_id(i, j)
+                se = self.node_id(i + 1, j)
+                nw = self.node_id(i, j + 1)
+                ne = self.node_id(i + 1, j + 1)
+                tris.append((sw, se, nw))
+                tris.append((se, ne, nw))
+        return np.array(tris, dtype=np.int64)
+
+    @property
+    def n_triangles(self) -> int:
+        return 2 * (self.nrows - 1) * (self.ncols - 1)
+
+    def neighbors(self, node: int) -> list[int]:
+        """Mesh neighbors of ``node`` (≤6, per the Figure-2 stencil)."""
+        i, j = self.node_ij(node)
+        out = []
+        for di, dj in NEIGHBOR_OFFSETS:
+            ii, jj = i + di, j + dj
+            if 0 <= ii < self.ncols and 0 <= jj < self.nrows:
+                out.append(self.node_id(ii, jj))
+        return out
+
+    @cached_property
+    def adjacency(self) -> dict[int, tuple[int, ...]]:
+        """Node → tuple of neighbor nodes for the whole mesh."""
+        return {node: tuple(self.neighbors(node)) for node in range(self.n_nodes)}
+
+    # ---------------------------------------------------------------- colors
+    def color_ij(self, i: int, j: int) -> int:
+        """Color of grid position ``(i, j)``: ``(i + 2j) mod 3``."""
+        return (i + 2 * j) % 3
+
+    @cached_property
+    def node_colors(self) -> np.ndarray:
+        """``(n_nodes,)`` array of colors (0 = R, 1 = B, 2 = G)."""
+        i = np.arange(self.n_nodes) % self.ncols
+        j = np.arange(self.n_nodes) // self.ncols
+        return (i + 2 * j) % 3
+
+    def color_counts(self, include_constrained: bool = True) -> np.ndarray:
+        """Number of nodes of each color."""
+        colors = self.node_colors
+        if not include_constrained:
+            colors = colors[self.unconstrained_nodes]
+        return np.bincount(colors, minlength=3)
+
+    def validate_coloring(self) -> None:
+        """Check that every triangle has three distinct colors (Figure 1)."""
+        colors = self.node_colors[self.triangles]
+        distinct = (
+            (colors[:, 0] != colors[:, 1])
+            & (colors[:, 1] != colors[:, 2])
+            & (colors[:, 0] != colors[:, 2])
+        )
+        require(bool(np.all(distinct)), "triangle with repeated node color")
+
+    def coloring_ascii(self, max_rows: int | None = None) -> str:
+        """ASCII rendition of Figure 1 (top row printed first)."""
+        rows = []
+        nrows = self.nrows if max_rows is None else min(self.nrows, max_rows)
+        for j in reversed(range(nrows)):
+            rows.append(
+                " ".join(COLOR_NAMES[self.color_ij(i, j)] for i in range(self.ncols))
+            )
+        return "\n".join(rows)
+
+    # ------------------------------------------------------------ constraints
+    @cached_property
+    def constrained_nodes(self) -> np.ndarray:
+        """Nodes of the constrained (left, x = 0) edge, both dofs fixed."""
+        return np.array(
+            [self.node_id(0, j) for j in range(self.nrows)], dtype=np.int64
+        )
+
+    @cached_property
+    def loaded_nodes(self) -> np.ndarray:
+        """Nodes of the loaded (right, x = width) edge."""
+        return np.array(
+            [self.node_id(self.ncols - 1, j) for j in range(self.nrows)],
+            dtype=np.int64,
+        )
+
+    @cached_property
+    def is_constrained(self) -> np.ndarray:
+        """Boolean mask over nodes: True on the constrained column."""
+        mask = np.zeros(self.n_nodes, dtype=bool)
+        mask[self.constrained_nodes] = True
+        return mask
+
+    @cached_property
+    def unconstrained_nodes(self) -> np.ndarray:
+        """Unconstrained node indices in natural (row-major) order."""
+        return np.flatnonzero(~self.is_constrained)
+
+    # ------------------------------------------------------------ dof numbering
+    @cached_property
+    def node_rank(self) -> np.ndarray:
+        """Rank of each node among unconstrained nodes (−1 if constrained)."""
+        rank = -np.ones(self.n_nodes, dtype=np.int64)
+        rank[self.unconstrained_nodes] = np.arange(self.unconstrained_nodes.size)
+        return rank
+
+    def dof_index(self, node: int, dof: int) -> int:
+        """Natural unknown index of ``(node, dof)``; dof 0 = u, 1 = v.
+
+        Returns −1 for constrained nodes.  Natural ordering interleaves the
+        two displacements node by node: ``2·rank + dof``.
+        """
+        require(dof in (0, 1), "dof must be 0 (u) or 1 (v)")
+        r = int(self.node_rank[node])
+        return -1 if r < 0 else 2 * r + dof
+
+    @cached_property
+    def dof_node(self) -> np.ndarray:
+        """``(n_unknowns,)`` node index of every natural unknown."""
+        return np.repeat(self.unconstrained_nodes, 2)
+
+    @cached_property
+    def dof_component(self) -> np.ndarray:
+        """``(n_unknowns,)`` displacement component (0 = u, 1 = v)."""
+        return np.tile(np.array([0, 1], dtype=np.int64), self.unconstrained_nodes.size)
+
+    # ------------------------------------------------------------ diagnostics
+    def max_vector_length(self) -> int:
+        """Longest single-color vector *including* constrained nodes.
+
+        This is the CYBER maximum vector length ``v`` of Section 3.1
+        (≈ ``a(b+1)/3``; ≈ ``a²/3`` for the unit-square meshes of Table 2).
+        """
+        return int(self.color_counts(include_constrained=True).max())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlateMesh(a={self.a} rows × {self.ncols} cols, "
+            f"{self.n_unknowns} unknowns, v={self.max_vector_length()})"
+        )

@@ -1,0 +1,243 @@
+"""Plane-stress CST elements and global stiffness assembly.
+
+The plate problem of Section 3: linear basis functions on triangles, the
+partial differential equations of plane stress (Norrie & DeVries 1978).  The
+element is the classical constant-strain triangle (CST):
+
+* constitutive matrix (plane stress)
+  ``D = E/(1−ν²) · [[1, ν, 0], [ν, 1, 0], [0, 0, (1−ν)/2]]``,
+* strain-displacement matrix ``B`` from the shape-function gradients,
+* element stiffness ``Kₑ = t·A·Bᵀ D B`` (6×6, dofs ``u₁ v₁ u₂ v₂ u₃ v₃``).
+
+Assembly eliminates the constrained dofs (left column, ``u = v = 0``) and
+applies a uniform x-traction on the loaded (right) edge through consistent
+nodal loads.  The result is the SPD stiffness system ``K u = f`` of (1.1)
+with ≤14 nonzeros per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.mesh import PlateMesh
+from repro.util import require
+
+__all__ = [
+    "ElasticMaterial",
+    "cst_stiffness",
+    "assemble_from_triangles",
+    "assemble_plate",
+    "assemble_plate_full",
+    "edge_traction_loads",
+]
+
+
+@dataclass(frozen=True)
+class ElasticMaterial:
+    """Isotropic plane-stress material.
+
+    Parameters
+    ----------
+    youngs_modulus:
+        E > 0.  The paper does not state material constants; the default E = 1
+        only scales ``K`` and ``f`` together and leaves iteration counts
+        unchanged.
+    poissons_ratio:
+        ν ∈ (−1, 0.5).  Default 0.3 (typical structural metal).
+    thickness:
+        Plate thickness t > 0.
+    """
+
+    youngs_modulus: float = 1.0
+    poissons_ratio: float = 0.3
+    thickness: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.youngs_modulus > 0, "E must be positive")
+        require(-1.0 < self.poissons_ratio < 0.5, "ν must lie in (−1, 0.5)")
+        require(self.thickness > 0, "thickness must be positive")
+
+    @property
+    def d_matrix(self) -> np.ndarray:
+        """3×3 plane-stress constitutive matrix."""
+        e, nu = self.youngs_modulus, self.poissons_ratio
+        c = e / (1.0 - nu * nu)
+        return c * np.array(
+            [[1.0, nu, 0.0], [nu, 1.0, 0.0], [0.0, 0.0, 0.5 * (1.0 - nu)]]
+        )
+
+
+def cst_stiffness(coords: np.ndarray, material: ElasticMaterial) -> np.ndarray:
+    """Element stiffness of a constant-strain triangle.
+
+    Parameters
+    ----------
+    coords:
+        ``(3, 2)`` vertex coordinates, counter-clockwise.
+    material:
+        Plane-stress material.
+
+    Returns
+    -------
+    ``(6, 6)`` symmetric positive semidefinite matrix over dofs
+    ``(u₁, v₁, u₂, v₂, u₃, v₃)``; its nullspace is spanned by the three rigid
+    body modes (two translations and the infinitesimal rotation).
+    """
+    coords = np.asarray(coords, dtype=float)
+    require(coords.shape == (3, 2), "coords must be (3, 2)")
+    x, y = coords[:, 0], coords[:, 1]
+    # Signed doubled area; positive for CCW vertex order.
+    area2 = (x[1] - x[0]) * (y[2] - y[0]) - (x[2] - x[0]) * (y[1] - y[0])
+    require(area2 > 0, "triangle is degenerate or clockwise")
+    # Shape function gradients: Nᵢ = (aᵢ + bᵢ x + cᵢ y) / (2A)
+    b = np.array([y[1] - y[2], y[2] - y[0], y[0] - y[1]]) / area2
+    c = np.array([x[2] - x[1], x[0] - x[2], x[1] - x[0]]) / area2
+    bmat = np.zeros((3, 6))
+    bmat[0, 0::2] = b
+    bmat[1, 1::2] = c
+    bmat[2, 0::2] = c
+    bmat[2, 1::2] = b
+    area = 0.5 * area2
+    ke = material.thickness * area * bmat.T @ material.d_matrix @ bmat
+    return 0.5 * (ke + ke.T)  # enforce exact symmetry
+
+
+def edge_traction_loads(
+    mesh: PlateMesh,
+    material: ElasticMaterial,
+    traction_x: float = 1.0,
+    traction_y: float = 0.0,
+) -> np.ndarray:
+    """Consistent nodal loads for a uniform traction on the loaded edge.
+
+    For linear elements a uniform traction ``(tx, ty)`` (force per unit area)
+    on an edge segment of length ``L`` contributes ``t·L/2·(tx, ty)`` to each
+    end node.  Returns the full-mesh load vector indexed ``2·node + dof``.
+    """
+    f = np.zeros(2 * mesh.n_nodes)
+    nodes = mesh.loaded_nodes
+    coords = mesh.coordinates
+    for lo, hi in zip(nodes[:-1], nodes[1:]):
+        length = float(np.linalg.norm(coords[hi] - coords[lo]))
+        half = 0.5 * material.thickness * length
+        for node in (lo, hi):
+            f[2 * node + 0] += half * traction_x
+            f[2 * node + 1] += half * traction_y
+    return f
+
+
+def assemble_from_triangles(
+    coords: np.ndarray,
+    triangles: np.ndarray,
+    material: ElasticMaterial,
+) -> sp.csr_matrix:
+    """Assemble a plane-stress stiffness over an arbitrary triangle set.
+
+    Dof numbering is ``2·point + component`` over all ``coords`` rows; the
+    result is symmetric positive semidefinite (rigid modes — and the free
+    modes of any points untouched by ``triangles`` — in the nullspace).
+    This is the shared kernel behind the rectangular plate and the
+    irregular-region problems of :mod:`repro.fem.irregular`.
+
+    All element matrices are formed in one batched einsum
+    (``Kₑ = t·A·Bᵀ D B`` across the whole triangle set) — the Python-loop
+    reference is :func:`cst_stiffness`, against which this path is tested.
+    """
+    triangles = np.asarray(triangles, dtype=np.int64)
+    n_tri = triangles.shape[0]
+    if n_tri == 0:
+        n_full = 2 * coords.shape[0]
+        return sp.csr_matrix((n_full, n_full))
+
+    x = coords[triangles, 0]  # (n_tri, 3)
+    y = coords[triangles, 1]
+    area2 = (x[:, 1] - x[:, 0]) * (y[:, 2] - y[:, 0]) - (
+        x[:, 2] - x[:, 0]
+    ) * (y[:, 1] - y[:, 0])
+    require(bool(np.all(area2 > 0)), "degenerate or clockwise triangle present")
+
+    # Shape-function gradient coefficients, per triangle.
+    b = np.stack(
+        [y[:, 1] - y[:, 2], y[:, 2] - y[:, 0], y[:, 0] - y[:, 1]], axis=1
+    ) / area2[:, None]
+    c = np.stack(
+        [x[:, 2] - x[:, 1], x[:, 0] - x[:, 2], x[:, 1] - x[:, 0]], axis=1
+    ) / area2[:, None]
+
+    bmat = np.zeros((n_tri, 3, 6))
+    bmat[:, 0, 0::2] = b
+    bmat[:, 1, 1::2] = c
+    bmat[:, 2, 0::2] = c
+    bmat[:, 2, 1::2] = b
+
+    d = material.d_matrix
+    scale = material.thickness * 0.5 * area2  # t·A per triangle
+    ke = np.einsum("eki,kl,elj->eij", bmat, d, bmat) * scale[:, None, None]
+    ke = 0.5 * (ke + np.transpose(ke, (0, 2, 1)))  # exact symmetry
+
+    dofs = np.empty((n_tri, 6), dtype=np.int64)
+    dofs[:, 0::2] = 2 * triangles
+    dofs[:, 1::2] = 2 * triangles + 1
+    rows = np.repeat(dofs, 6, axis=1).ravel()
+    cols = np.tile(dofs, (1, 6)).ravel()
+
+    n_full = 2 * coords.shape[0]
+    k_full = sp.csr_matrix((ke.ravel(), (rows, cols)), shape=(n_full, n_full))
+    k_full.sum_duplicates()
+    return k_full
+
+
+def assemble_plate_full(
+    mesh: PlateMesh,
+    material: ElasticMaterial | None = None,
+    traction_x: float = 1.0,
+    traction_y: float = 0.0,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Assemble the *unconstrained* plate system over all ``2·n_nodes`` dofs.
+
+    Dof numbering is ``2·node + component``.  No boundary conditions are
+    applied: the matrix is symmetric positive *semi*definite (rigid modes in
+    the nullspace).  The CYBER simulator builds its padded color vectors on
+    this full system, enforcing the constraints with the control-vector
+    mask rather than by elimination (Section 3.1).
+    """
+    material = material or ElasticMaterial()
+    k_full = assemble_from_triangles(mesh.coordinates, mesh.triangles, material)
+    f_full = edge_traction_loads(mesh, material, traction_x, traction_y)
+    return k_full, f_full
+
+
+def assemble_plate(
+    mesh: PlateMesh,
+    material: ElasticMaterial | None = None,
+    traction_x: float = 1.0,
+    traction_y: float = 0.0,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Assemble the constrained plane-stress system ``K u = f`` of (1.1).
+
+    Returns
+    -------
+    K:
+        ``(2ab, 2ab)`` CSR stiffness matrix over the unconstrained dofs in
+        the mesh's *natural* ordering (``2·node_rank + dof``); symmetric
+        positive definite, ≤14 nonzeros per row.
+    f:
+        Load vector from the uniform traction on the loaded edge.
+    """
+    k_full, f_full = assemble_plate_full(mesh, material, traction_x, traction_y)
+
+    # Eliminate constrained dofs.  Fixed displacements are zero so the load
+    # carries over unchanged on the free dofs.
+    free_nodes = mesh.unconstrained_nodes
+    free_dofs = np.empty(2 * free_nodes.size, dtype=np.int64)
+    free_dofs[0::2] = 2 * free_nodes
+    free_dofs[1::2] = 2 * free_nodes + 1
+
+    k = k_full[free_dofs][:, free_dofs].tocsr()
+    k.sum_duplicates()
+    k.eliminate_zeros()
+    f = f_full[free_dofs]
+    return k, f

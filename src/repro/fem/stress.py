@@ -1,0 +1,105 @@
+"""Stress recovery for the plane-stress plate.
+
+The paper solves for displacements only; a structural engineer immediately
+post-processes them.  The CST element carries constant strain
+``ε = B·uₑ`` and stress ``σ = D·ε`` per triangle; nodal values are the
+area-weighted average of the surrounding elements (the standard recovery
+for linear triangles).  Used by the plate example and by tests that check
+the physics end to end (uniform uniaxial tension reproduces
+``σ_xx = traction``, ``σ_yy ≈ 0`` away from the clamped edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.mesh import PlateMesh
+from repro.fem.plane_stress import ElasticMaterial
+from repro.util import require
+
+__all__ = ["ElementStress", "element_stresses", "nodal_stresses", "von_mises"]
+
+
+@dataclass(frozen=True)
+class ElementStress:
+    """Constant stress state of one triangle: (σ_xx, σ_yy, τ_xy)."""
+
+    sigma_xx: float
+    sigma_yy: float
+    tau_xy: float
+
+    @property
+    def von_mises(self) -> float:
+        sx, sy, txy = self.sigma_xx, self.sigma_yy, self.tau_xy
+        return float(np.sqrt(sx * sx - sx * sy + sy * sy + 3.0 * txy * txy))
+
+
+def _full_displacements(mesh: PlateMesh, u_reduced: np.ndarray) -> np.ndarray:
+    """Natural reduced solution → full-mesh dof vector (constrained = 0)."""
+    require(u_reduced.shape == (mesh.n_unknowns,), "solution length mismatch")
+    full = np.zeros(2 * mesh.n_nodes)
+    nodes = mesh.unconstrained_nodes
+    full[2 * nodes] = u_reduced[0::2]
+    full[2 * nodes + 1] = u_reduced[1::2]
+    return full
+
+
+def element_stresses(
+    mesh: PlateMesh,
+    material: ElasticMaterial,
+    u_reduced: np.ndarray,
+) -> list[ElementStress]:
+    """Per-triangle constant stresses from a reduced displacement vector."""
+    full = _full_displacements(mesh, u_reduced)
+    d = material.d_matrix
+    coords = mesh.coordinates
+    out = []
+    for tri in mesh.triangles:
+        x, y = coords[tri, 0], coords[tri, 1]
+        area2 = (x[1] - x[0]) * (y[2] - y[0]) - (x[2] - x[0]) * (y[1] - y[0])
+        b = np.array([y[1] - y[2], y[2] - y[0], y[0] - y[1]]) / area2
+        c = np.array([x[2] - x[1], x[0] - x[2], x[1] - x[0]]) / area2
+        ue = np.empty(6)
+        ue[0::2] = full[2 * tri]
+        ue[1::2] = full[2 * tri + 1]
+        strain = np.array(
+            [
+                float(b @ ue[0::2]),
+                float(c @ ue[1::2]),
+                float(c @ ue[0::2] + b @ ue[1::2]),
+            ]
+        )
+        sigma = d @ strain
+        out.append(ElementStress(float(sigma[0]), float(sigma[1]), float(sigma[2])))
+    return out
+
+
+def nodal_stresses(
+    mesh: PlateMesh,
+    material: ElasticMaterial,
+    u_reduced: np.ndarray,
+) -> np.ndarray:
+    """``(n_nodes, 3)`` area-weighted nodal stress recovery."""
+    stresses = element_stresses(mesh, material, u_reduced)
+    coords = mesh.coordinates
+    acc = np.zeros((mesh.n_nodes, 3))
+    weight = np.zeros(mesh.n_nodes)
+    for tri, stress in zip(mesh.triangles, stresses):
+        x, y = coords[tri, 0], coords[tri, 1]
+        area = 0.5 * abs(
+            (x[1] - x[0]) * (y[2] - y[0]) - (x[2] - x[0]) * (y[1] - y[0])
+        )
+        vec = np.array([stress.sigma_xx, stress.sigma_yy, stress.tau_xy])
+        for node in tri:
+            acc[node] += area * vec
+            weight[node] += area
+    weight[weight == 0.0] = 1.0
+    return acc / weight[:, None]
+
+
+def von_mises(nodal: np.ndarray) -> np.ndarray:
+    """Von Mises equivalent stress from ``(n, 3)`` nodal stresses."""
+    sx, sy, txy = nodal[:, 0], nodal[:, 1], nodal[:, 2]
+    return np.sqrt(sx * sx - sx * sy + sy * sy + 3.0 * txy * txy)

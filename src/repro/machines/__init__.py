@@ -1,0 +1,49 @@
+"""Machine simulators: the CYBER 203/205 and the Finite Element Machine.
+
+Both 1983 machines are gone, so both are simulated the same way: the
+numerics execute for real (NumPy, identical to the reference solver) while
+a calibrated cost model charges time to every primitive the paper's
+implementation performs — vector pipelines, control-vector masking and
+matvec-by-diagonals on the CYBER (§3.1); local-link record exchanges, the
+signal-flag network and global reductions on the Finite Element Machine
+(§3.2).  DESIGN.md §4 documents the calibration and why it preserves the
+paper's conclusions.
+"""
+
+from repro.machines.comm import CommLog
+from repro.machines.cyber import CyberMachine, CyberResult
+from repro.machines.diagonals import DiagonalStorage
+from repro.machines.fem_machine import FEMResult, FiniteElementMachine, speedup_table
+from repro.machines.spmd import MessageLedger, SPMDResult, SPMDSolver
+from repro.machines.timing import (
+    CYBER_203,
+    CYBER_205,
+    FEM_1983,
+    ArrayTimingModel,
+    VectorTimingModel,
+)
+from repro.machines.topology import LINK_DIRECTIONS, Assignment, ProcessorGrid
+from repro.machines.vector import VectorMachine, VectorOpLog
+
+__all__ = [
+    "CommLog",
+    "CyberMachine",
+    "CyberResult",
+    "DiagonalStorage",
+    "FEMResult",
+    "FiniteElementMachine",
+    "speedup_table",
+    "MessageLedger",
+    "SPMDResult",
+    "SPMDSolver",
+    "CYBER_203",
+    "CYBER_205",
+    "FEM_1983",
+    "ArrayTimingModel",
+    "VectorTimingModel",
+    "LINK_DIRECTIONS",
+    "Assignment",
+    "ProcessorGrid",
+    "VectorMachine",
+    "VectorOpLog",
+]

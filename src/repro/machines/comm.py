@@ -1,0 +1,72 @@
+"""Communication accounting for the Finite Element Machine simulator.
+
+Tracks records and words per directed processor pair, exactly as the paper
+describes the I/O: "the values of each color to be sent to a given neighbor
+can be packaged and sent as one record" — so an *exchange event* costs one
+record latency plus a per-word transfer time, per neighbor, per direction.
+
+Also models the two global mechanisms:
+
+* the **signal flag network** used by the convergence test (each processor
+  raises a flag; the machine synchronizes and tests all-raised), and
+* the **global reduction** needed by the two inner products — either the
+  software store-and-forward path of the 1983 machine (O(P)) or the
+  sum/max hardware circuit (O(log₂ P), Jordan 1979) that the paper says
+  "was designed ... as a result" of the inner-product bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machines.timing import ArrayTimingModel
+
+__all__ = ["CommLog"]
+
+
+@dataclass
+class CommLog:
+    """Aggregated traffic per directed processor pair."""
+
+    timing: ArrayTimingModel
+    records: dict[tuple[int, int], int] = field(default_factory=dict)
+    words: dict[tuple[int, int], int] = field(default_factory=dict)
+    reductions: int = 0
+    flag_syncs: int = 0
+
+    def add_record(self, src: int, dst: int, n_words: int) -> float:
+        """Log one packaged record; returns its transfer time."""
+        if n_words <= 0:
+            return 0.0
+        key = (src, dst)
+        self.records[key] = self.records.get(key, 0) + 1
+        self.words[key] = self.words.get(key, 0) + n_words
+        return self.timing.record_time(n_words)
+
+    def add_reduction(self, n_procs: int, mode: str) -> float:
+        self.reductions += 1
+        return self.timing.reduction_time(n_procs, mode)
+
+    def add_flag_sync(self) -> float:
+        self.flag_syncs += 1
+        return self.timing.flag_sync_time
+
+    # ------------------------------------------------------------- summaries
+    @property
+    def total_records(self) -> int:
+        return sum(self.records.values())
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.words.values())
+
+    def traffic_matrix(self, n_procs: int) -> list[list[int]]:
+        """Words sent (row = src, col = dst)."""
+        out = [[0] * n_procs for _ in range(n_procs)]
+        for (src, dst), w in self.words.items():
+            out[src][dst] = w
+        return out
+
+    def conservation_ok(self) -> bool:
+        """Every send has a matching receive (bookkeeping sanity)."""
+        return all(w >= 0 for w in self.words.values())

@@ -1,0 +1,357 @@
+"""The Finite Element Machine simulator (§3.2, Table 3).
+
+Executes the m-step multicolor SSOR PCG method exactly as the reference
+solver does — so iteration counts are *identical for any processor count*,
+the property Table 3 exhibits — while charging a lockstep (BSP-style) cost
+model built from the paper's description of the machine:
+
+* each processor owns a color-balanced rectangle of unconstrained nodes and
+  the 14-coefficient stencil rows of its equations (Figures 3, 5);
+* every CG iteration exchanges the border ``p`` components with neighbors
+  over the local links, one packaged record per neighbor;
+* every preconditioner step exchanges border ``r̃`` components after each
+  color phase (3 forward exchanges, 2 backward — the ``c mod 2 = 0``
+  sends of Algorithm 3);
+* the two inner products need a global reduction — software
+  store-and-forward on the 1983 machine, or the sum/max circuit (O(log₂ P));
+* the convergence test uses the signal flag network.
+
+A phase's time is the maximum over processors of its compute plus its
+communication (processors are synchronized by the data dependencies between
+phases); per-iteration costs are static because they depend only on the
+partition, not on values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.driver import build_blocked_system
+from repro.fem.model_problems import PlateProblem
+from repro.machines.comm import CommLog
+from repro.machines.timing import FEM_1983, ArrayTimingModel
+from repro.machines.topology import Assignment, ProcessorGrid
+from repro.multicolor.sor import MStepSSOR
+from repro.core.pcg import pcg
+from repro.util import require
+
+__all__ = ["FEMResult", "FiniteElementMachine", "speedup_table"]
+
+
+@dataclass
+class FEMResult:
+    """One Table-3 cell: a Finite Element Machine solve."""
+
+    label: str
+    m: int
+    parametrized: bool
+    n_procs: int
+    iterations: int
+    converged: bool
+    seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    reduction_seconds: float
+    flag_seconds: float
+    total_records: int
+    total_words: int
+    u_natural: np.ndarray
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FEMResult(m={self.label}, P={self.n_procs}, I={self.iterations}, "
+            f"T={self.seconds:.2f}s)"
+        )
+
+
+class FiniteElementMachine:
+    """The plate problem distributed over a processor array."""
+
+    def __init__(
+        self,
+        problem: PlateProblem,
+        n_procs: int | Assignment = 1,
+        timing: ArrayTimingModel = FEM_1983,
+        reduction: str = "software",
+        blocked=None,
+    ):
+        self.problem = problem
+        self.timing = timing
+        require(reduction in ("software", "circuit"), "unknown reduction mode")
+        self.reduction = reduction
+        if isinstance(n_procs, Assignment):
+            self.assignment = n_procs
+        else:
+            grid = ProcessorGrid.for_count(n_procs, problem.mesh)
+            self.assignment = Assignment.rectangles(problem.mesh, grid)
+        self.blocked = blocked if blocked is not None else build_blocked_system(problem)
+        self._precompute_static_costs()
+
+    # -------------------------------------------------------- static costing
+    def _precompute_static_costs(self) -> None:
+        assignment = self.assignment
+        mesh = self.problem.mesh
+        k_csr = self.problem.k.tocsr()
+        row_nnz = np.diff(k_csr.indptr)
+        groups = self.problem.group_of_unknown
+        n_procs = assignment.n_procs
+
+        self._owned = [u.size for u in assignment.unknowns_of_proc]
+        self._owned_backward = []  # unknowns in groups 1..nc−2 (backward solves)
+        self._matvec_flops = []
+        self._precond_mult_flops = []
+        nc = self.problem.n_groups
+        for p in range(n_procs):
+            unknowns = assignment.unknowns_of_proc[p]
+            self._matvec_flops.append(int(2 * row_nnz[unknowns].sum()))
+            # Off-diagonal entries touched once per merged SSOR step.
+            self._precond_mult_flops.append(int(2 * (row_nnz[unknowns] - 1).sum()))
+            g = groups[unknowns]
+            self._owned_backward.append(int(np.count_nonzero((g >= 1) & (g <= nc - 2))))
+
+        # Border words for the p-exchange (all colors) and the per-step
+        # r̃-exchanges.  Forward: one record per node color, both dofs
+        # packaged ("the two equations at the same node [are] the same
+        # color" for communication).  Backward: the ``send r̃_{c+1}, r̃_c``
+        # events of Algorithm 3 — (Gv, Gu) after the Gu solve and (Bv, Bu)
+        # after the Bu solve, which is exactly what the downstream solves'
+        # data dependencies require (same-node couplings are always local,
+        # so Rv never needs a remote Ru and the R pair is not re-sent).
+        self._kp_exchange_words: dict[tuple[int, int], int] = {}
+        self._fwd_words: dict[tuple[int, int], list[int]] = {}
+        self._bwd_words: dict[tuple[int, int], list[int]] = {}
+        for (p, q), nodes in assignment.border_pairs.items():
+            colors = mesh.node_colors[nodes]
+            per_color = np.bincount(colors, minlength=3)
+            self._kp_exchange_words[(p, q)] = 2 * nodes.size
+            # forward events: node colors R, B, G → 2 words per node of color
+            self._fwd_words[(p, q)] = [2 * int(c) for c in per_color]
+            # backward events: (Gv, Gu) then (Bv, Bu)
+            self._bwd_words[(p, q)] = [2 * int(per_color[2]), 2 * int(per_color[1])]
+
+    def _exchange_phase_time(
+        self, words: dict[tuple[int, int], int], comm: CommLog | None
+    ) -> float:
+        """Max over processors of (send + receive) time for one exchange."""
+        per_proc = np.zeros(self.assignment.n_procs)
+        for (p, q), w in words.items():
+            t = (
+                comm.add_record(p, q, w)
+                if comm is not None
+                else self.timing.record_time(w)
+            )
+            per_proc[p] += t  # send
+            per_proc[q] += t  # matching receive
+        return float(per_proc.max()) if per_proc.size else 0.0
+
+    def _precond_step_compute(self) -> float:
+        """Compute seconds of one merged Conrad–Wallach step (max over procs).
+
+        Per processor: all off-diagonal stencil coefficients touched once
+        (2 flops each), 4 flops per solved component (forward all colors,
+        backward the interior colors), plus the fixed per-color-phase setup
+        overhead of the stencil data structures (2·nc − 1 phases).
+        """
+        t_flop = self.timing.flop_time
+        phases = 2 * self.problem.n_groups - 1
+        return (
+            max(
+                self._precond_mult_flops[p] * t_flop
+                + 4 * (self._owned[p] + self._owned_backward[p]) * t_flop
+                for p in range(self.assignment.n_procs)
+            )
+            + phases * self.timing.color_phase_overhead
+        )
+
+    def _precond_step_time(self, comm: CommLog | None) -> float:
+        """One merged Conrad–Wallach step: compute + the 5 border exchanges."""
+        compute = self._precond_step_compute()
+        comm_time = 0.0
+        if self.assignment.n_procs > 1:
+            for event in range(3):  # forward: R, B, G phases
+                words = {
+                    pair: w[event]
+                    for pair, w in self._fwd_words.items()
+                    if w[event] > 0
+                }
+                comm_time += self._exchange_phase_time(words, comm)
+            for event in range(2):  # backward pairs
+                words = {
+                    pair: w[event]
+                    for pair, w in self._bwd_words.items()
+                    if w[event] > 0
+                }
+                comm_time += self._exchange_phase_time(words, comm)
+        return compute + comm_time
+
+    def _outer_phase_times(self, comm: CommLog | None) -> dict[str, float]:
+        """Static per-iteration costs of the outer CG phases."""
+        t_flop = self.timing.flop_time
+        n_procs = self.assignment.n_procs
+        max_owned = max(self._owned)
+        matvec = max(self._matvec_flops) * t_flop
+        exchange = (
+            self._exchange_phase_time(self._kp_exchange_words, comm)
+            if n_procs > 1
+            else 0.0
+        )
+        dot = 2 * max_owned * t_flop + (
+            comm.add_reduction(n_procs, self.reduction)
+            if comm is not None
+            else self.timing.reduction_time(n_procs, self.reduction)
+        )
+        update_delta = 3 * max_owned * t_flop + (
+            comm.add_flag_sync() if comm is not None else self.timing.flag_sync_time
+        )
+        axpy = 2 * max_owned * t_flop
+        return {
+            "exchange": exchange,
+            "matvec": matvec,
+            "dot": dot,
+            "update_delta": update_delta,
+            "axpy": axpy,
+        }
+
+    def iteration_costs(self, m: int) -> tuple[float, float]:
+        """(A, B) of the performance model (4.1): T_m = (A + m·B)·N_m.
+
+        A is the outer-iteration cost (exchange, matvec, two inner products,
+        three vector updates, convergence test); B is one preconditioner
+        step.
+        """
+        phases = self._outer_phase_times(None)
+        a = (
+            phases["exchange"]
+            + phases["matvec"]
+            + 2 * phases["dot"]
+            + phases["update_delta"]
+            + 2 * phases["axpy"]
+        )
+        b = self._precond_step_time(None) if m >= 0 else 0.0
+        return a, b
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self,
+        m: int,
+        coefficients: np.ndarray | None = None,
+        eps: float = 1e-6,
+        maxiter: int | None = None,
+        label: str | None = None,
+    ) -> FEMResult:
+        """Run the method; numerics identical to the reference solver."""
+        require(m >= 0, "m must be non-negative")
+        if m >= 1:
+            coefficients = (
+                np.ones(m) if coefficients is None else np.asarray(coefficients, float)
+            )
+            require(coefficients.size == m, "need one coefficient per step")
+            parametrized = not np.allclose(coefficients, 1.0)
+            preconditioner = MStepSSOR(self.blocked, coefficients)
+        else:
+            parametrized = False
+            preconditioner = None
+
+        ordering = self.blocked.ordering
+        f_mc = ordering.permute_vector(np.asarray(self.problem.f, dtype=float))
+        result = pcg(
+            self.blocked.permuted,
+            f_mc,
+            preconditioner=preconditioner,
+            eps=eps,
+            maxiter=maxiter,
+        )
+
+        # ---- charge the clock -------------------------------------------
+        comm = CommLog(self.timing)
+        compute_seconds = 0.0
+        comm_seconds = 0.0
+        reduction_seconds = 0.0
+        flag_seconds = 0.0
+        t_flop = self.timing.flop_time
+        n_procs = self.assignment.n_procs
+        max_owned = max(self._owned)
+
+        def charge_exchange() -> float:
+            if n_procs <= 1:
+                return 0.0
+            return self._exchange_phase_time(self._kp_exchange_words, comm)
+
+        def charge_dot() -> tuple[float, float]:
+            partial = 2 * max_owned * t_flop
+            red = comm.add_reduction(n_procs, self.reduction)
+            return partial, red
+
+        step_compute = self._precond_step_compute()
+
+        def charge_precond() -> tuple[float, float]:
+            """Returns (compute seconds, comm seconds) of one application."""
+            if preconditioner is None:
+                return 0.0, 0.0
+            total_compute = total_comm = 0.0
+            for _ in range(m):
+                step_total = self._precond_step_time(comm)
+                total_compute += step_compute
+                total_comm += step_total - step_compute
+            return total_compute, total_comm
+
+        # Startup: K u⁰, r⁰ = f − K u⁰, M r̃⁰ = r⁰, p⁰ = r̃⁰, ρ₀.
+        comm_seconds += charge_exchange()
+        compute_seconds += max(self._matvec_flops) * t_flop
+        compute_seconds += 2 * max_owned * t_flop  # r = f − K u
+        pc, pm = charge_precond()
+        compute_seconds += pc
+        comm_seconds += pm
+        partial, red = charge_dot()
+        compute_seconds += partial
+        reduction_seconds += red
+
+        iterations = result.iterations
+        for it in range(1, iterations + 1):
+            final = it == iterations and result.converged
+            comm_seconds += charge_exchange()
+            compute_seconds += max(self._matvec_flops) * t_flop  # K p
+            partial, red = charge_dot()  # (p, Kp)
+            compute_seconds += partial
+            reduction_seconds += red
+            compute_seconds += 3 * max_owned * t_flop  # u update + |Δu| pass
+            flag_seconds += comm.add_flag_sync()
+            if final:
+                break
+            compute_seconds += 2 * max_owned * t_flop  # r update
+            pc, pm = charge_precond()
+            compute_seconds += pc
+            comm_seconds += pm
+            partial, red = charge_dot()  # (r̃, r)
+            compute_seconds += partial
+            reduction_seconds += red
+            compute_seconds += 2 * max_owned * t_flop  # p update
+
+        seconds = compute_seconds + comm_seconds + reduction_seconds + flag_seconds
+        if label is None:
+            label = "0" if m == 0 else (f"{m}P" if parametrized else f"{m}")
+        return FEMResult(
+            label=label,
+            m=m,
+            parametrized=parametrized,
+            n_procs=n_procs,
+            iterations=iterations,
+            converged=result.converged,
+            seconds=seconds,
+            compute_seconds=compute_seconds,
+            comm_seconds=comm_seconds,
+            reduction_seconds=reduction_seconds,
+            flag_seconds=flag_seconds,
+            total_records=comm.total_records,
+            total_words=comm.total_words,
+            u_natural=ordering.unpermute_vector(result.u),
+        )
+
+
+def speedup_table(results_by_procs: dict[int, FEMResult]) -> dict[int, float]:
+    """Speedups relative to the one-processor run (Table 3's columns)."""
+    require(1 in results_by_procs, "need the one-processor baseline")
+    base = results_by_procs[1].seconds
+    return {p: base / r.seconds for p, r in sorted(results_by_procs.items())}

@@ -1,0 +1,248 @@
+"""Processor topology and node assignment for the Finite Element Machine.
+
+Section 3.2: unconstrained nodes are assigned to processors in rectangles,
+"as nearly as possible an equal number of Red, Black and Green unconstrained
+nodes" per processor (Figures 3a–3c, Figure 5).  Each processor has eight
+nearest-neighbor links; the '/' triangulation's stencil touches only six of
+them — N, S, E, W, NW, SE (Figure 4).
+
+:class:`Assignment` partitions the mesh's unconstrained columns and rows
+into processor bands (``np.array_split``, so counts differ by at most one),
+and precomputes everything the machine simulator charges for:
+
+* per-processor node lists and color counts,
+* the directed border sets — which of processor p's unknowns processor q's
+  equations reference — per color group (these are the paper's packaged
+  records: "the values of each color to be sent to a given neighbor can be
+  packaged and sent as one record"),
+* the set of link directions actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.fem.mesh import PlateMesh
+from repro.util import require
+
+__all__ = ["ProcessorGrid", "Assignment", "LINK_DIRECTIONS"]
+
+#: The eight FEM local links, as (Δcol, Δrow) processor offsets.
+LINK_DIRECTIONS: dict[str, tuple[int, int]] = {
+    "E": (1, 0),
+    "W": (-1, 0),
+    "N": (0, 1),
+    "S": (0, -1),
+    "NE": (1, 1),
+    "NW": (-1, 1),
+    "SE": (1, -1),
+    "SW": (-1, -1),
+}
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """``prows × pcols`` array of processors; id = row·pcols + col."""
+
+    prows: int
+    pcols: int
+
+    def __post_init__(self) -> None:
+        require(self.prows >= 1 and self.pcols >= 1, "grid must be non-empty")
+
+    @property
+    def n_procs(self) -> int:
+        return self.prows * self.pcols
+
+    def proc_id(self, pcol: int, prow: int) -> int:
+        require(0 <= pcol < self.pcols and 0 <= prow < self.prows, "proc out of range")
+        return prow * self.pcols + pcol
+
+    def proc_rc(self, proc: int) -> tuple[int, int]:
+        require(0 <= proc < self.n_procs, "proc out of range")
+        return proc % self.pcols, proc // self.pcols
+
+    @classmethod
+    def for_count(cls, n_procs: int, mesh: PlateMesh) -> "ProcessorGrid":
+        """A near-balanced grid for ``n_procs`` fitting the mesh's shape.
+
+        Picks the factorization p_r × p_c of n_procs whose bands divide the
+        unconstrained node grid most evenly (matching the paper's Figure-5
+        choices: 2 → 2×1 row split, 5 → 1×5 column split for the 6×5 grid).
+        """
+        require(n_procs >= 1, "need at least one processor")
+        rows, cols = mesh.nrows, mesh.b
+        best = None
+        for prows in range(1, n_procs + 1):
+            if n_procs % prows:
+                continue
+            pcols = n_procs // prows
+            if prows > rows or pcols > cols:
+                continue
+            # Imbalance: spread of band products.
+            row_bands = [len(b) for b in np.array_split(range(rows), prows)]
+            col_bands = [len(b) for b in np.array_split(range(cols), pcols)]
+            sizes = [r * c for r in row_bands for c in col_bands]
+            score = (max(sizes) - min(sizes), abs(prows - pcols))
+            if best is None or score < best[0]:
+                best = (score, cls(prows=prows, pcols=pcols))
+        require(best is not None, "no processor grid fits this mesh")
+        return best[1]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Node → processor map plus all derived communication structure."""
+
+    mesh: PlateMesh
+    grid: ProcessorGrid
+    #: processor of every node; −1 for constrained nodes (never assigned).
+    proc_of_node: np.ndarray
+
+    @classmethod
+    def rectangles(cls, mesh: PlateMesh, grid: ProcessorGrid) -> "Assignment":
+        """The paper's rectangular partition of the unconstrained nodes."""
+        require(grid.prows <= mesh.nrows, "more processor rows than node rows")
+        require(grid.pcols <= mesh.b, "more processor columns than node columns")
+        row_band = np.empty(mesh.nrows, dtype=np.int64)
+        for band, rows in enumerate(np.array_split(np.arange(mesh.nrows), grid.prows)):
+            row_band[rows] = band
+        col_band = np.empty(mesh.ncols, dtype=np.int64)
+        col_band[0] = -1  # constrained column
+        for band, cols in enumerate(
+            np.array_split(np.arange(1, mesh.ncols), grid.pcols)
+        ):
+            col_band[cols] = band
+
+        proc = -np.ones(mesh.n_nodes, dtype=np.int64)
+        for node in range(mesh.n_nodes):
+            i, j = mesh.node_ij(node)
+            if col_band[i] < 0:
+                continue
+            proc[node] = grid.proc_id(int(col_band[i]), int(row_band[j]))
+        return cls(mesh=mesh, grid=grid, proc_of_node=proc)
+
+    # ------------------------------------------------------------- ownership
+    @property
+    def n_procs(self) -> int:
+        return self.grid.n_procs
+
+    @cached_property
+    def nodes_of_proc(self) -> list[np.ndarray]:
+        return [
+            np.flatnonzero(self.proc_of_node == p) for p in range(self.n_procs)
+        ]
+
+    @cached_property
+    def unknowns_of_proc(self) -> list[np.ndarray]:
+        """Natural reduced unknown indices owned by each processor."""
+        out = []
+        for p in range(self.n_procs):
+            nodes = self.nodes_of_proc[p]
+            ranks = self.mesh.node_rank[nodes]
+            unknowns = np.empty(2 * nodes.size, dtype=np.int64)
+            unknowns[0::2] = 2 * ranks
+            unknowns[1::2] = 2 * ranks + 1
+            out.append(np.sort(unknowns))
+        return out
+
+    @cached_property
+    def proc_of_unknown(self) -> np.ndarray:
+        """Owner of every natural reduced unknown."""
+        owner = np.empty(self.mesh.n_unknowns, dtype=np.int64)
+        owner[:] = -1
+        for p, unknowns in enumerate(self.unknowns_of_proc):
+            owner[unknowns] = p
+        return owner
+
+    def color_counts(self, proc: int) -> np.ndarray:
+        """Unconstrained node count per color on ``proc`` (Figure-5 balance)."""
+        nodes = self.nodes_of_proc[proc]
+        return np.bincount(self.mesh.node_colors[nodes], minlength=3)
+
+    def balance_report(self) -> dict[str, int]:
+        """Max spread of per-color node counts across processors."""
+        counts = np.stack([self.color_counts(p) for p in range(self.n_procs)])
+        return {
+            "max_nodes": int(counts.sum(axis=1).max()),
+            "min_nodes": int(counts.sum(axis=1).min()),
+            "max_color_spread": int((counts.max(axis=0) - counts.min(axis=0)).max()),
+        }
+
+    # ---------------------------------------------------------------- borders
+    @cached_property
+    def border_pairs(self) -> dict[tuple[int, int], np.ndarray]:
+        """Directed border sets: ``(owner, consumer) → owner's border nodes``.
+
+        Node ``n`` (owned by p) is in the (p, q) border when some node of q
+        is a mesh neighbor of ``n`` — q's equations then reference values at
+        ``n`` and p must send them.
+        """
+        pairs: dict[tuple[int, int], set[int]] = {}
+        for node in range(self.mesh.n_nodes):
+            p = int(self.proc_of_node[node])
+            if p < 0:
+                continue
+            for other in self.mesh.neighbors(node):
+                q = int(self.proc_of_node[other])
+                if q < 0 or q == p:
+                    continue
+                pairs.setdefault((p, q), set()).add(node)
+        return {
+            key: np.array(sorted(nodes), dtype=np.int64)
+            for key, nodes in sorted(pairs.items())
+        }
+
+    def border_words(self, owner: int, consumer: int, colors=None) -> int:
+        """Values (words) ``owner`` sends ``consumer`` for the given colors.
+
+        Two words per border node (u and v); ``colors=None`` means all three
+        node colors (the full p-vector exchange of the CG iteration).
+        """
+        nodes = self.border_pairs.get((owner, consumer))
+        if nodes is None:
+            return 0
+        if colors is None:
+            return 2 * nodes.size
+        node_colors = self.mesh.node_colors[nodes]
+        keep = np.isin(node_colors, np.asarray(list(colors)))
+        return 2 * int(np.count_nonzero(keep))
+
+    def neighbors_of_proc(self, proc: int) -> list[int]:
+        """Processors this one exchanges with (either direction)."""
+        out = set()
+        for (p, q) in self.border_pairs:
+            if p == proc:
+                out.add(q)
+            if q == proc:
+                out.add(p)
+        return sorted(out)
+
+    @cached_property
+    def links_used(self) -> set[str]:
+        """Directions (of the 8 links) carrying traffic — Figure 4 says 6."""
+        used = set()
+        inverse = {offset: name for name, offset in LINK_DIRECTIONS.items()}
+        for (p, q) in self.border_pairs:
+            pc, pr = self.grid.proc_rc(p)
+            qc, qr = self.grid.proc_rc(q)
+            offset = (qc - pc, qr - pr)
+            if offset in inverse:
+                used.add(inverse[offset])
+        return used
+
+    # ------------------------------------------------------------- rendering
+    def ascii_map(self) -> str:
+        """Figure 3/5-style map: processor id per node ('.' = constrained)."""
+        width = max(2, len(str(self.n_procs - 1)) + 1)
+        rows = []
+        for j in reversed(range(self.mesh.nrows)):
+            cells = []
+            for i in range(self.mesh.ncols):
+                p = int(self.proc_of_node[self.mesh.node_id(i, j)])
+                cells.append((".".rjust(width)) if p < 0 else str(p).rjust(width))
+            rows.append("".join(cells))
+        return "\n".join(rows)

@@ -1,0 +1,165 @@
+"""The blocked color system (3.1).
+
+After multicolor reordering the matrix takes the form
+
+```
+    [ D₁  B₁₂ B₁₃ … ]
+K = [ B₁₂ᵀ D₂  B₂₃ … ]        D_c diagonal matrices,
+    [ …            ]          B_cj sparse blocks (≤ a few diagonals each)
+```
+
+:class:`BlockedMatrix` stores the diagonal of every ``D_c`` as a vector and
+every nonempty off-diagonal block as CSR, which is the storage Algorithms 2
+and 3 operate on.  For the plate's six groups, the same-node coupling blocks
+``B₁₂, B₃₄, B₅₆`` are themselves diagonal matrices — validated here because
+the paper's CYBER implementation depends on it (multiplication by diagonals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.multicolor.coloring import validate_groups
+from repro.multicolor.ordering import MulticolorOrdering
+from repro.util import is_diagonal, require
+
+__all__ = ["BlockedMatrix"]
+
+
+@dataclass(frozen=True)
+class BlockedMatrix:
+    """Multicolor block view of an SPD matrix.
+
+    Attributes
+    ----------
+    ordering:
+        The multicolor ordering used to build the blocks.
+    permuted:
+        The full reordered matrix ``P K Pᵀ`` (kept for whole-matrix products
+        such as ``K p`` in the outer CG iteration).
+    diagonals:
+        ``diagonals[c]`` is the (strictly positive) diagonal of ``D_c``.
+    blocks:
+        ``blocks[c][j]`` is block ``(c, j)`` in CSR form for ``c ≠ j``;
+        structurally empty blocks are omitted.
+    """
+
+    ordering: MulticolorOrdering
+    permuted: sp.csr_matrix
+    diagonals: tuple[np.ndarray, ...]
+    blocks: dict[int, dict[int, sp.csr_matrix]]
+
+    @classmethod
+    def from_matrix(
+        cls,
+        k: sp.spmatrix,
+        ordering: MulticolorOrdering,
+        validate: bool = True,
+    ) -> "BlockedMatrix":
+        """Build the block view; raises if the group map is not a coloring."""
+        if validate:
+            validate_groups(k, ordering.groups)
+        permuted = ordering.permute_matrix(k)
+        slices = ordering.group_slices
+        nc = ordering.n_groups
+
+        diagonals = []
+        blocks: dict[int, dict[int, sp.csr_matrix]] = {}
+        for c in range(nc):
+            rows = permuted[slices[c]]
+            dc = rows[:, slices[c]].diagonal().copy()
+            require(bool(np.all(dc > 0)), f"group {c} has a non-positive diagonal")
+            diagonals.append(dc)
+            row_blocks: dict[int, sp.csr_matrix] = {}
+            for j in range(nc):
+                if j == c:
+                    continue
+                block = rows[:, slices[j]].tocsr()
+                if block.nnz:
+                    row_blocks[j] = block
+            blocks[c] = row_blocks
+        return cls(
+            ordering=ordering,
+            permuted=permuted,
+            diagonals=tuple(diagonals),
+            blocks=blocks,
+        )
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def n(self) -> int:
+        return self.permuted.shape[0]
+
+    @property
+    def n_groups(self) -> int:
+        return self.ordering.n_groups
+
+    @property
+    def group_slices(self) -> tuple[slice, ...]:
+        return self.ordering.group_slices
+
+    @cached_property
+    def n_offdiagonal_blocks(self) -> int:
+        """Number of structurally nonzero off-diagonal blocks."""
+        return sum(len(row) for row in self.blocks.values())
+
+    # ------------------------------------------------------------- operations
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``K x`` in multicolor ordering (uses the full reordered CSR)."""
+        return self.permuted @ x
+
+    def matvec_blockwise(self, x: np.ndarray) -> np.ndarray:
+        """``K x`` accumulated block by block (used to cross-check blocks)."""
+        out = np.empty_like(x, dtype=float)
+        slices = self.group_slices
+        for c in range(self.n_groups):
+            acc = self.diagonals[c] * x[slices[c]]
+            for j, block in self.blocks[c].items():
+                acc += block @ x[slices[j]]
+            out[slices[c]] = acc
+        return out
+
+    def block_row_sum(
+        self, c: int, x_groups: list[np.ndarray], js: range | list[int]
+    ) -> np.ndarray:
+        """``Σ_{j∈js} B_cj x_j`` — the sweep accumulation primitive."""
+        acc = np.zeros(self.diagonals[c].shape[0])
+        row = self.blocks[c]
+        for j in js:
+            block = row.get(j)
+            if block is not None:
+                acc += block @ x_groups[j]
+        return acc
+
+    # ------------------------------------------------------------- validation
+    def same_node_blocks_diagonal(self, n_components: int = 2) -> bool:
+        """Whether blocks coupling components of the same color are diagonal.
+
+        For the plate's group order (Ru, Rv, Bu, Bv, Gu, Gv) these are
+        ``B₁₂, B₃₄, B₅₆`` in the paper's 1-based numbering.
+        """
+        for base in range(0, self.n_groups - n_components + 1, n_components):
+            for i in range(n_components):
+                for j in range(i + 1, n_components):
+                    block = self.blocks[base + i].get(base + j)
+                    if block is not None and not is_diagonal(block):
+                        return False
+        return True
+
+    def symmetry_residual(self) -> float:
+        """``max |B_cj − B_jcᵀ|`` over all stored blocks (0 for symmetric K)."""
+        worst = 0.0
+        for c, row in self.blocks.items():
+            for j, block in row.items():
+                other = self.blocks[j].get(c)
+                if other is None:
+                    worst = max(worst, float(np.max(np.abs(block.data))) if block.nnz else 0.0)
+                    continue
+                diff = (block - other.T).tocoo()
+                if diff.nnz:
+                    worst = max(worst, float(np.max(np.abs(diff.data))))
+        return worst

@@ -1,0 +1,122 @@
+"""Permutation between natural and multicolor orderings.
+
+"If the equations at the nodes in Figure 1 are numbered by these six colors
+from bottom to top, left to right, the system has the form (3.1)."  This
+module holds that renumbering: group-by-group, preserving the natural order
+within each group (which for the plate *is* bottom-to-top/left-to-right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util import permutation_matrix, require
+
+__all__ = ["MulticolorOrdering"]
+
+
+@dataclass(frozen=True)
+class MulticolorOrdering:
+    """Bijection between natural unknowns and color-grouped unknowns.
+
+    Attributes
+    ----------
+    groups:
+        Group index of every unknown *in natural order*.
+    labels:
+        Human-readable group names, one per group.
+    """
+
+    groups: np.ndarray
+    labels: tuple[str, ...]
+
+    @classmethod
+    def from_groups(
+        cls, groups: np.ndarray, labels: tuple[str, ...] | None = None
+    ) -> "MulticolorOrdering":
+        groups = np.asarray(groups, dtype=np.int64)
+        require(groups.ndim == 1, "groups must be a vector")
+        n_groups = int(groups.max()) + 1 if groups.size else 0
+        require(
+            bool(np.all(groups >= 0)), "group indices must be non-negative"
+        )
+        if labels is None:
+            labels = tuple(f"g{c}" for c in range(n_groups))
+        require(len(labels) >= n_groups, "not enough labels for the groups used")
+        return cls(groups=groups, labels=tuple(labels))
+
+    @property
+    def n(self) -> int:
+        return int(self.groups.size)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.labels)
+
+    @cached_property
+    def counts(self) -> np.ndarray:
+        """Number of unknowns in each group."""
+        return np.bincount(self.groups, minlength=self.n_groups)
+
+    @cached_property
+    def perm(self) -> np.ndarray:
+        """``perm[new] = old``: natural index of each multicolor position.
+
+        Stable sort by group, so the within-group order equals the natural
+        order (the paper's bottom-to-top, left-to-right numbering).
+        """
+        return np.argsort(self.groups, kind="stable")
+
+    @cached_property
+    def inverse_perm(self) -> np.ndarray:
+        """``inverse_perm[old] = new``."""
+        inv = np.empty_like(self.perm)
+        inv[self.perm] = np.arange(self.n)
+        return inv
+
+    @cached_property
+    def group_slices(self) -> tuple[slice, ...]:
+        """Slice of the multicolor ordering occupied by each group."""
+        offsets = np.concatenate([[0], np.cumsum(self.counts)])
+        return tuple(
+            slice(int(offsets[c]), int(offsets[c + 1])) for c in range(self.n_groups)
+        )
+
+    @cached_property
+    def matrix(self) -> sp.csr_matrix:
+        """Sparse permutation matrix ``P`` with ``P x_natural = x_multicolor``."""
+        return permutation_matrix(self.perm)
+
+    # ----------------------------------------------------------- conversions
+    def permute_vector(self, x: np.ndarray) -> np.ndarray:
+        """Natural → multicolor ordering."""
+        x = np.asarray(x)
+        require(x.shape[0] == self.n, "vector length mismatch")
+        return x[self.perm]
+
+    def unpermute_vector(self, x: np.ndarray) -> np.ndarray:
+        """Multicolor → natural ordering."""
+        x = np.asarray(x)
+        require(x.shape[0] == self.n, "vector length mismatch")
+        out = np.empty_like(x)
+        out[self.perm] = x
+        return out
+
+    def permute_matrix(self, k: sp.spmatrix) -> sp.csr_matrix:
+        """Symmetric reordering ``P K Pᵀ`` into multicolor ordering."""
+        require(k.shape == (self.n, self.n), "matrix shape mismatch")
+        p = self.matrix
+        return (p @ k.tocsr() @ p.T).tocsr()
+
+    def split_vector(self, x: np.ndarray) -> list[np.ndarray]:
+        """Multicolor-ordered vector → per-group views (no copies)."""
+        require(x.shape[0] == self.n, "vector length mismatch")
+        return [x[s] for s in self.group_slices]
+
+    def group_of_position(self, new_index: int) -> int:
+        """Group of a multicolor-ordered position."""
+        return int(self.groups[self.perm[new_index]])

@@ -1,0 +1,113 @@
+"""Basic linear-algebra helpers.
+
+The paper's algorithms are expressed in terms of three primitives — the inner
+product ``(x, y) = xᵀy``, the infinity norm used by the stopping test in
+Algorithm 1, and sparse matrix-vector products.  This module provides those
+plus an :class:`OperationCounter` that the instrumented solvers use to report
+how many of each primitive they executed (the paper's whole argument is about
+*how many inner products* an iteration costs, so we count them explicitly
+rather than inferring them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "OperationCounter",
+    "as_dense",
+    "inf_norm",
+    "inner",
+    "permutation_matrix",
+]
+
+
+def inner(x: np.ndarray, y: np.ndarray) -> float:
+    """Euclidean inner product ``(x, y) = xᵀ y`` as a Python float."""
+    return float(np.dot(np.asarray(x).ravel(), np.asarray(y).ravel()))
+
+
+def inf_norm(x: np.ndarray) -> float:
+    """``‖x‖_∞`` — the norm used by Algorithm 1's convergence test."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return float(np.max(np.abs(x)))
+
+
+def as_dense(a) -> np.ndarray:
+    """Return ``a`` as a dense ndarray (accepts sparse matrices and arrays)."""
+    if sp.issparse(a):
+        return a.toarray()
+    return np.asarray(a)
+
+
+def permutation_matrix(perm: np.ndarray) -> sp.csr_matrix:
+    """Sparse permutation matrix ``P`` with ``(P x)[i] = x[perm[i]]``.
+
+    Row ``i`` of ``P`` has a single 1 in column ``perm[i]``; consequently
+    ``P A Pᵀ`` reorders a matrix so that old index ``perm[i]`` becomes new
+    index ``i``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = perm.size
+    if n and (perm.min() < 0 or perm.max() >= n):
+        raise ValueError("perm is not a permutation of 0..n-1")
+    if np.unique(perm).size != n:
+        raise ValueError("perm contains repeated indices")
+    data = np.ones(n)
+    rows = np.arange(n)
+    return sp.csr_matrix((data, (rows, perm)), shape=(n, n))
+
+
+@dataclass
+class OperationCounter:
+    """Tally of the primitives executed by an instrumented solver.
+
+    Attributes
+    ----------
+    inner_products:
+        Number of global inner products (the reduction the paper identifies
+        as the parallel bottleneck).
+    matvecs:
+        Number of products with the full operator ``K``.
+    precond_applications:
+        Number of applications of ``M⁻¹`` (one per PCG iteration plus the
+        initial one).
+    precond_steps:
+        Total *inner* stationary steps taken by m-step preconditioners
+        (``m × precond_applications`` when m is fixed).
+    axpys:
+        Vector updates of the form ``y ← y + a·x``.
+    """
+
+    inner_products: int = 0
+    matvecs: int = 0
+    precond_applications: int = 0
+    precond_steps: int = 0
+    axpys: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "OperationCounter") -> None:
+        """Accumulate another counter's totals into this one."""
+        self.inner_products += other.inner_products
+        self.matvecs += other.matvecs
+        self.precond_applications += other.precond_applications
+        self.precond_steps += other.precond_steps
+        self.axpys += other.axpys
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
+    def as_dict(self) -> dict:
+        out = {
+            "inner_products": self.inner_products,
+            "matvecs": self.matvecs,
+            "precond_applications": self.precond_applications,
+            "precond_steps": self.precond_steps,
+            "axpys": self.axpys,
+        }
+        out.update(self.extra)
+        return out

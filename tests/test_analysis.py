@@ -1,0 +1,204 @@
+"""Tests for the Section-4 performance model, condition studies, reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    PerformanceModel,
+    Table,
+    condition_study,
+    fit_iteration_model,
+    format_table,
+    inequality_42,
+    optimal_m,
+)
+from repro.core import SSORSplitting, least_squares_coefficients
+from repro.fem import plate_problem
+
+
+class TestPerformanceModel:
+    def test_predicted_time_formula(self):
+        model = PerformanceModel(a=2.0, b=0.5)
+        assert model.predicted_time(0, 100) == 200.0
+        assert model.predicted_time(4, 25) == (2.0 + 4 * 0.5) * 25
+
+    def test_b_over_a(self):
+        assert PerformanceModel(a=4.0, b=1.0).b_over_a == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(a=0.0, b=1.0)
+        with pytest.raises(ValueError):
+            PerformanceModel(a=1.0, b=-0.1)
+        with pytest.raises(ValueError):
+            PerformanceModel(a=1.0, b=1.0).predicted_time(-1, 10)
+
+
+class TestInequality42:
+    def test_condition_1_fewer_inner_loops(self):
+        # 9·33 = 297 → m+1 with 10·29 = 290 < 297: condition (1) holds.
+        model = PerformanceModel(a=1.0, b=1.0)
+        decision = inequality_42(9, 33, 29, model)
+        assert decision.condition_1
+        assert decision.beneficial
+        assert decision.threshold == float("inf")
+
+    def test_condition_2_threshold(self):
+        # The paper's a=41 case at m=9: N₉=33, N₁₀=31 →
+        # threshold = (33−31)/(10·31 − 9·33) = 2/13 ≈ 0.154.
+        model_cheap = PerformanceModel(a=1.0, b=0.10)
+        model_dear = PerformanceModel(a=1.0, b=0.81)
+        d_cheap = inequality_42(9, 33, 31, model_cheap)
+        d_dear = inequality_42(9, 33, 31, model_dear)
+        assert d_cheap.threshold == pytest.approx(2 / 13)
+        assert d_cheap.beneficial
+        assert not d_dear.beneficial
+        left, right = d_dear.sides()
+        assert left == pytest.approx(0.81)
+        assert right == pytest.approx(2 / 13)
+
+    def test_equal_inner_loops_edge(self):
+        model = PerformanceModel(a=1.0, b=0.5)
+        d = inequality_42(1, 20, 10, model)  # 2·10 − 1·20 = 0, N drops
+        assert d.beneficial
+        d2 = inequality_42(1, 10, 10, model)  # no iteration change: 2·10−10>0
+        assert not d2.beneficial
+
+    def test_validation(self):
+        model = PerformanceModel(a=1.0, b=0.5)
+        with pytest.raises(ValueError):
+            inequality_42(-1, 5, 4, model)
+        with pytest.raises(ValueError):
+            inequality_42(2, 0, 4, model)
+
+    @given(
+        st.integers(1, 12),
+        st.integers(2, 500),
+        st.floats(0.01, 3.0),
+        st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=40)
+    def test_property_decision_matches_time_model(self, m, n_m, drop, b_over_a):
+        # (4.2) must agree with directly comparing T_{m+1} and T_m.
+        n_m1 = max(1, int(n_m / (1.0 + drop)))
+        model = PerformanceModel(a=1.0, b=b_over_a)
+        decision = inequality_42(m, n_m, n_m1, model)
+        t_m = model.predicted_time(m, n_m)
+        t_m1 = model.predicted_time(m + 1, n_m1)
+        if abs(t_m1 - t_m) > 1e-9 * t_m:
+            assert decision.beneficial == (t_m1 < t_m)
+
+
+class TestOptimalM:
+    def test_scans_profile(self):
+        counts = {0: 100, 1: 45, 2: 30, 3: 24, 4: 21}
+        cheap = PerformanceModel(a=1.0, b=0.05)
+        dear = PerformanceModel(a=1.0, b=2.0)
+        assert optimal_m(counts, cheap) >= 2
+        assert optimal_m(counts, dear) <= 1
+
+    def test_single_entry(self):
+        assert optimal_m({0: 10}, PerformanceModel(a=1.0, b=1.0)) == 0
+
+    def test_fit_iteration_model(self):
+        # Exact power law is recovered.
+        counts = {m: int(round(100 * m**-0.5)) for m in (1, 2, 4, 8, 16)}
+        c, p = fit_iteration_model(counts)
+        assert c == pytest.approx(100, rel=0.05)
+        assert p == pytest.approx(0.5, abs=0.05)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_iteration_model({1: 50})
+
+
+class TestConditionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        k = plate_problem(5).k
+        return condition_study(SSORSplitting(k), m_max=6)
+
+    def test_kappa_decreases(self, study):
+        assert study.monotone_decreasing()
+
+    def test_adams_bound(self, study):
+        assert study.bound_satisfied()
+
+    def test_preconditioning_beats_raw_kappa(self, study):
+        assert study.kappas[1] < study.kappa_k
+
+    def test_iteration_gain_reasonable(self, study):
+        gain = study.expected_iteration_gain(4)
+        assert 1.0 <= gain <= 2.0  # √(κ₁/κ₄) ≤ √4 = 2 by the bound
+
+    def test_parametrized_study_improves(self):
+        k = plate_problem(5).k
+        splitting = SSORSplitting(k)
+        from repro.core import full_splitting_spectrum
+
+        eigs = full_splitting_spectrum(splitting)
+        interval = (float(eigs.min()), float(eigs.max()))
+        plain = condition_study(splitting, m_max=4)
+        fitted = condition_study(
+            splitting,
+            m_max=4,
+            coefficients_for=lambda m: least_squares_coefficients(m, interval),
+        )
+        for m in (2, 3, 4):
+            assert fitted.kappas[m] <= plain.kappas[m] * 1.05
+
+    def test_m_max_validation(self):
+        k = plate_problem(4).k
+        with pytest.raises(ValueError):
+            condition_study(SSORSplitting(k), m_max=0)
+
+
+class TestAsciiPlot:
+    def test_markers_and_legend(self):
+        from repro.analysis import ascii_plot
+
+        xs = [0.0, 0.5, 1.0]
+        out = ascii_plot("demo", xs, {"alpha": [0, 1, 0], "beta": [1, 0, 1]})
+        assert "demo" in out
+        assert "a = alpha" in out and "b = beta" in out
+        assert "a" in out and "b" in out
+
+    def test_constant_series_handled(self):
+        from repro.analysis import ascii_plot
+
+        out = ascii_plot("flat", [0, 1], {"c": [2.0, 2.0]})
+        assert "flat" in out
+
+    def test_validation(self):
+        from repro.analysis import ascii_plot
+
+        with pytest.raises(ValueError):
+            ascii_plot("t", [0, 1], {})
+        with pytest.raises(ValueError):
+            ascii_plot("t", [0], {"x": [1]})
+        with pytest.raises(ValueError):
+            ascii_plot("t", [0, 1], {"x": [1]})
+
+
+class TestReporting:
+    def test_format_basic(self):
+        out = format_table("Title", ["a", "b"], [[1, 2.5], [None, float("inf")]])
+        assert "Title" in out
+        assert "—" in out and "∞" in out
+        assert "2.5" in out
+
+    def test_table_row_width_checked(self):
+        table = Table("t", ["x", "y"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = Table("t", ["x"], [[1]])
+        table.add_note("calibrated, not measured")
+        assert "note: calibrated" in table.render()
+
+    def test_bool_rendering(self):
+        out = format_table("t", ["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1, 7, -24.5, 31.5" in out
+        assert "yes" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--rows", "5", "--cols", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "R B G" in out
+        assert "max vector length" in out
+
+    def test_solve(self, capsys):
+        code = main(["solve", "--rows", "8", "--m", "3", "-P", "--eps", "1e-6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged: True" in out
+        assert "m = 3P" in out
+
+    def test_solve_plain_cg(self, capsys):
+        code = main(["solve", "--rows", "6", "--m", "0"])
+        assert code == 0
+        assert "m = 0" in capsys.readouterr().out
+
+    def test_cyber(self, capsys):
+        code = main(["cyber", "--rows", "8", "--m", "2", "-P"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CYBER 203 simulation" in out
+        assert "T = " in out
+
+    def test_recommend(self, capsys):
+        code = main(["recommend", "--rows", "8", "--b-over-a", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recommended m" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,115 @@
+"""Tests for the IC(0) baseline."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import AbsoluteResidual, cg, pcg
+from repro.core.ichol import ICBreakdown, ICPreconditioner, ichol0
+from repro.fem import plate_problem, poisson_problem
+from repro.util import is_spd
+
+
+class TestFactorization:
+    def test_exact_on_tridiagonal_m_matrix(self):
+        # IC(0) of a tridiagonal M-matrix is the *exact* Cholesky factor
+        # (no fill exists to drop).
+        n = 12
+        k = sp.diags(
+            [-np.ones(n - 1), 2.0 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1]
+        ).tocsr()
+        l_factor = ichol0(k)
+        assert (l_factor @ l_factor.T - k).toarray() == pytest.approx(
+            np.zeros((n, n)), abs=1e-12
+        )
+
+    def test_pattern_preserved(self):
+        prob = poisson_problem(6)
+        l_factor = ichol0(prob.k)
+        lower = sp.tril(prob.k, 0).tocsr()
+        assert l_factor.nnz == lower.nnz
+        assert np.array_equal(l_factor.indices, lower.indices)
+
+    def test_poisson_residual_small(self):
+        prob = poisson_problem(8)
+        l_factor = ichol0(prob.k)
+        err = (l_factor @ l_factor.T - prob.k).toarray()
+        # zero-fill drops some fill, but the factorization is close on the
+        # 5-point stencil.
+        assert np.max(np.abs(err)) < 0.35 * float(np.abs(prob.k.toarray()).max())
+
+    def test_positive_diagonal(self):
+        prob = plate_problem(5)
+        precond = ICPreconditioner(prob.k)
+        assert np.all(precond.l_factor.diagonal() > 0)
+
+    KERSHAW = np.array(
+        [
+            [3.0, -2.0, 0.0, 2.0],
+            [-2.0, 3.0, -2.0, 0.0],
+            [0.0, -2.0, 3.0, -2.0],
+            [2.0, 0.0, -2.0, 3.0],
+        ]
+    )
+
+    def test_breakdown_raises(self):
+        # Kershaw's (1978) classic: SPD yet IC(0) hits a negative pivot.
+        assert is_spd(self.KERSHAW, tol=1e-12)
+        with pytest.raises(ICBreakdown):
+            ichol0(sp.csr_matrix(self.KERSHAW))
+
+    def test_shift_rescues_breakdown(self):
+        precond = ICPreconditioner(sp.csr_matrix(self.KERSHAW))
+        assert precond.shift > 0
+        out = precond.apply(np.ones(4))
+        assert np.all(np.isfinite(out))
+
+
+class TestICCG:
+    def test_iccg_converges_and_beats_cg(self):
+        prob = plate_problem(8)
+        base = cg(prob.k, prob.f, stopping=AbsoluteResidual(1e-9))
+        precond = ICPreconditioner(prob.k)
+        result = pcg(
+            prob.k, prob.f, preconditioner=precond,
+            stopping=AbsoluteResidual(1e-9),
+        )
+        assert result.converged
+        assert result.iterations < base.iterations
+        assert prob.k @ result.u == pytest.approx(prob.f, abs=1e-7)
+
+    def test_iccg_competitive_with_one_step_ssor(self):
+        # Serially, ICCG is at least in the same league as 1-step SSOR —
+        # the reason it was the default in 1983 serial codes.
+        from repro.core import MStepPreconditioner, SSORSplitting, neumann_coefficients
+
+        prob = plate_problem(8)
+        ic_iters = pcg(
+            prob.k, prob.f, preconditioner=ICPreconditioner(prob.k), eps=1e-7
+        ).iterations
+        ssor_iters = pcg(
+            prob.k,
+            prob.f,
+            preconditioner=MStepPreconditioner(
+                SSORSplitting(prob.k), neumann_coefficients(1)
+            ),
+            eps=1e-7,
+        ).iterations
+        assert ic_iters <= ssor_iters * 1.5
+
+    def test_counter_tracks_triangular_solves(self):
+        prob = plate_problem(5)
+        precond = ICPreconditioner(prob.k)
+        precond.apply(np.ones(prob.n))
+        precond.apply(np.ones(prob.n))
+        assert precond.counter.precond_applications == 2
+        assert precond.counter.extra["triangular_solves"] == 4
+
+    def test_cyber_cost_is_scalar_bound(self):
+        from repro.machines import CYBER_203
+
+        prob = plate_problem(8)
+        precond = ICPreconditioner(prob.k)
+        t_ic = precond.cyber_apply_seconds(CYBER_203)
+        # 2·nnz scalar ops at scalar_time each.
+        assert t_ic == pytest.approx(2 * precond.nnz * CYBER_203.scalar_time)

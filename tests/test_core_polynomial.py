@@ -1,0 +1,219 @@
+"""Tests for the polynomial parametrization machinery (Section 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PAPER_TABLE1,
+    eigenvalue_map,
+    fit_report,
+    least_squares_coefficients,
+    minmax_coefficients,
+    neumann_coefficients,
+    normalize_leading,
+    q_polynomial,
+)
+
+INTERVAL = (0.05, 1.0)  # typical SSOR P⁻¹K spectrum
+
+
+class TestPaperTable1:
+    """Exact reproduction of the paper's Table 1.
+
+    The printed α values are uniform-weight least squares on the
+    theoretical SSOR interval [0, 1] normalized so α₀ = 1 — every digit of
+    the scan matches.
+    """
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_exact_match(self, m):
+        ours = normalize_leading(least_squares_coefficients(m, (0.0, 1.0)))
+        assert ours == pytest.approx(np.array(PAPER_TABLE1[m]), abs=5e-3)
+
+    def test_normalization_requires_positive_leading(self):
+        with pytest.raises(ValueError):
+            normalize_leading(np.array([-1.0, 2.0]))
+
+    def test_normalization_preserves_pcg_behavior(self):
+        # A positive scaling of M leaves the PCG iterates unchanged.
+        from repro.core import MStepPreconditioner, SSORSplitting, pcg
+        from repro.fem import plate_problem
+
+        prob = plate_problem(5)
+        splitting = SSORSplitting(prob.k)
+        raw = least_squares_coefficients(3, (0.0, 1.0))
+        scaled = normalize_leading(raw)
+        res_raw = pcg(
+            prob.k, prob.f, MStepPreconditioner(splitting, raw), eps=1e-8
+        )
+        res_scaled = pcg(
+            prob.k, prob.f, MStepPreconditioner(splitting, scaled), eps=1e-8
+        )
+        assert res_raw.iterations == res_scaled.iterations
+        assert res_raw.u == pytest.approx(res_scaled.u, rel=1e-9, abs=1e-12)
+
+
+class TestQPolynomial:
+    def test_unparametrized_map_is_one_minus_power(self):
+        # αᵢ ≡ 1 → q(μ) = 1 − (1−μ)^m.
+        for m in (1, 2, 3, 5):
+            q = eigenvalue_map(neumann_coefficients(m))
+            mu = np.linspace(0.0, 1.0, 33)
+            assert q(mu) == pytest.approx(1.0 - (1.0 - mu) ** m)
+
+    def test_q_vanishes_at_zero(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(size=4)
+        assert q_polynomial(coeffs)(0.0) == pytest.approx(0.0, abs=1e-14)
+
+    def test_degree(self):
+        coeffs = np.array([1.0, 2.0, 3.0])
+        assert q_polynomial(coeffs).degree() == 3  # μ·(degree m−1 in (1−μ))
+
+    def test_m1_scaling(self):
+        # m = 1: q(μ) = α₀ μ — condition number independent of α₀, as the
+        # paper notes ("we are only interested in m > 1").
+        report_1 = fit_report(np.array([1.0]), INTERVAL)
+        report_5 = fit_report(np.array([5.0]), INTERVAL)
+        assert report_1.condition_bound == pytest.approx(report_5.condition_bound)
+
+
+class TestLeastSquares:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 6])
+    def test_beats_unparametrized_in_l2(self, m):
+        # The fitted coefficients minimize ∫(1−q)²; the all-ones choice is in
+        # the feasible set, so the fit can only be at least as good.
+        lo, hi = INTERVAL
+        mu = np.linspace(lo, hi, 4001)
+        fitted = eigenvalue_map(least_squares_coefficients(m, INTERVAL))
+        plain = eigenvalue_map(neumann_coefficients(m))
+        err_fit = np.trapezoid((1 - fitted(mu)) ** 2, mu)
+        err_plain = np.trapezoid((1 - plain(mu)) ** 2, mu)
+        assert err_fit <= err_plain + 1e-12
+
+    def test_residual_decreases_with_m(self):
+        lo, hi = INTERVAL
+        mu = np.linspace(lo, hi, 4001)
+        errors = []
+        for m in range(1, 7):
+            q = eigenvalue_map(least_squares_coefficients(m, INTERVAL))
+            errors.append(float(np.trapezoid((1 - q(mu)) ** 2, mu)))
+        assert all(b <= a + 1e-14 for a, b in zip(errors, errors[1:]))
+
+    def test_orthogonality_of_residual(self):
+        # Normal equations: the residual 1 − q is L2-orthogonal to every
+        # basis function μ(1−μ)ⁱ.
+        m = 4
+        coeffs = least_squares_coefficients(m, INTERVAL)
+        q = eigenvalue_map(coeffs)
+        nodes, weights = np.polynomial.legendre.leggauss(60)
+        lo, hi = INTERVAL
+        mu = 0.5 * (hi - lo) * nodes + 0.5 * (hi + lo)
+        w = weights * 0.5 * (hi - lo)
+        resid = 1.0 - q(mu)
+        for i in range(m):
+            phi = mu * (1.0 - mu) ** i
+            assert float(np.sum(w * resid * phi)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_weight_mu_changes_fit(self):
+        uniform = least_squares_coefficients(3, INTERVAL, weight="uniform")
+        weighted = least_squares_coefficients(3, INTERVAL, weight="mu")
+        assert not np.allclose(uniform, weighted)
+
+    def test_callable_weight(self):
+        coeffs = least_squares_coefficients(2, INTERVAL, weight=lambda mu: mu**2)
+        assert coeffs.shape == (2,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            least_squares_coefficients(0, INTERVAL)
+        with pytest.raises(ValueError):
+            least_squares_coefficients(2, (1.0, 0.5))
+        with pytest.raises(ValueError):
+            least_squares_coefficients(2, (-0.1, 1.0))
+        with pytest.raises(ValueError):
+            least_squares_coefficients(2, INTERVAL, weight="bogus")
+
+    @given(st.integers(2, 8), st.floats(0.01, 0.4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_fit_positive_on_interval(self, m, lo):
+        # A sensible fit keeps q positive on the fitting interval (SPD M).
+        interval = (lo, 1.0)
+        coeffs = least_squares_coefficients(m, interval)
+        report = fit_report(coeffs, interval)
+        assert report.positive
+
+
+class TestMinMax:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 6])
+    def test_equioscillation_error(self, m):
+        # max |1 − q*| on [λ₁, λ_n] equals 1/T_m(x₀) exactly.
+        lo, hi = INTERVAL
+        coeffs = minmax_coefficients(m, INTERVAL)
+        report = fit_report(coeffs, INTERVAL)
+        x0 = (hi + lo) / (hi - lo)
+        t_m = np.polynomial.chebyshev.Chebyshev.basis(m)
+        expected = 1.0 / float(t_m(x0))
+        assert report.max_deviation == pytest.approx(expected, rel=1e-8)
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_minmax_beats_least_squares_in_sup_norm(self, m):
+        ls = fit_report(least_squares_coefficients(m, INTERVAL), INTERVAL)
+        mm = fit_report(minmax_coefficients(m, INTERVAL), INTERVAL)
+        assert mm.max_deviation <= ls.max_deviation + 1e-12
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_minmax_beats_unparametrized_condition_bound(self, m):
+        plain = fit_report(neumann_coefficients(m), INTERVAL)
+        mm = fit_report(minmax_coefficients(m, INTERVAL), INTERVAL)
+        assert mm.condition_bound <= plain.condition_bound + 1e-9
+
+    def test_condition_bound_formula(self):
+        # κ bound = (1+e)/(1−e) with e = 1/T_m(x₀).
+        m = 3
+        lo, hi = INTERVAL
+        coeffs = minmax_coefficients(m, INTERVAL)
+        report = fit_report(coeffs, INTERVAL)
+        x0 = (hi + lo) / (hi - lo)
+        e = 1.0 / float(np.polynomial.chebyshev.Chebyshev.basis(m)(x0))
+        assert report.condition_bound == pytest.approx((1 + e) / (1 - e), rel=1e-8)
+
+    def test_m1_reduces_to_scaled_identity(self):
+        coeffs = minmax_coefficients(1, INTERVAL)
+        assert coeffs.shape == (1,)
+        lo, hi = INTERVAL
+        assert coeffs[0] == pytest.approx(2.0 / (hi + lo))
+
+    @given(
+        st.integers(1, 8),
+        st.floats(0.01, 0.5),
+        st.floats(0.6, 2.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_positive_and_bounded(self, m, lo, hi):
+        interval = (lo, hi)
+        coeffs = minmax_coefficients(m, interval)
+        report = fit_report(coeffs, interval)
+        assert report.positive
+        assert report.q_max <= 2.0 + 1e-9  # 1 + deviation ≤ 2
+
+
+class TestFitReport:
+    def test_reports_interval_extrema(self):
+        report = fit_report(neumann_coefficients(2), (0.0, 1.0))
+        # q(μ) = 1 − (1−μ)² on [0,1]: min 0 at 0, max 1 at 1.
+        assert report.q_min == pytest.approx(0.0, abs=1e-14)
+        assert report.q_max == pytest.approx(1.0)
+        assert not report.positive
+        assert report.condition_bound == float("inf")
+
+    def test_interior_extremum_found(self):
+        # coefficients producing a hump inside the interval
+        coeffs = np.array([4.0, -5.0])
+        report = fit_report(coeffs, (0.0, 1.0))
+        mu = np.linspace(0, 1, 20001)
+        q = eigenvalue_map(coeffs)(mu)
+        assert report.q_max == pytest.approx(float(q.max()), abs=1e-6)
+        assert report.q_min == pytest.approx(float(q.min()), abs=1e-6)

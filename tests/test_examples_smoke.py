@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each is imported and its ``main()`` executed (fast ones fully; the two
+heavyweight ones are covered by running their underlying builders on
+smaller inputs inside the benchmarks, so here we only import-check them).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "m-step SSOR PCG" in out
+        assert "6P" in out
+
+    def test_poisson_redblack(self, capsys):
+        load_example("poisson_redblack").main()
+        out = capsys.readouterr().out
+        assert "red/black" in out
+        assert "2 colors" in out
+
+    def test_irregular_region(self, capsys):
+        load_example("irregular_region").main()
+        out = capsys.readouterr().out
+        assert "L-shaped" in out
+        assert "von Mises" in out
+
+    def test_fem_machine_simulation(self, capsys):
+        load_example("fem_machine_simulation").main()
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "Figure 5" in out
+
+
+class TestHeavyExamplesImportable:
+    @pytest.mark.parametrize(
+        "name", ["plane_stress_plate", "cyber_simulation", "polynomial_preconditioners"]
+    )
+    def test_module_loads_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,120 @@
+"""Failure-injection tests: the library must fail loudly and sanely.
+
+The solvers assume SPD operators and proper colorings; these tests feed
+them broken inputs and check that every failure is either detected at
+construction or surfaces as a clean non-converged result — never a wrong
+answer reported as converged.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    DeltaInfNorm,
+    JacobiSplitting,
+    MStepPreconditioner,
+    SSORSplitting,
+    cg,
+    neumann_coefficients,
+    pcg,
+)
+from repro.fem import PlateMesh, plate_problem
+from repro.multicolor import BlockedMatrix, MStepSSOR, MulticolorOrdering
+
+
+class TestIndefiniteOperators:
+    def test_cg_on_indefinite_matrix_reports_breakdown(self):
+        k = sp.diags([1.0, -1.0, 2.0]).tocsr()
+        f = np.array([1.0, 1.0, 1.0])
+        result = cg(k, f, eps=1e-10, maxiter=50)
+        # Either it never claims convergence, or the residual really is small.
+        if result.converged:
+            assert np.max(np.abs(k @ result.u - f)) < 1e-6
+
+    def test_pcg_with_indefinite_preconditioner_still_guarded(self):
+        # An m-step Jacobi preconditioner on a matrix whose Jacobi spectrum
+        # exceeds 2 is indefinite for even m; PCG may wander but must not
+        # report a bad solution as converged under a residual rule.
+        prob = plate_problem(5)
+        precond = MStepPreconditioner(
+            JacobiSplitting(prob.k), neumann_coefficients(2)
+        )
+        from repro.core import AbsoluteResidual
+
+        result = pcg(
+            prob.k, prob.f, preconditioner=precond,
+            stopping=AbsoluteResidual(1e-9), maxiter=2000,
+        )
+        if result.converged:
+            assert np.max(np.abs(prob.k @ result.u - prob.f)) < 1e-6
+
+
+class TestBrokenColorings:
+    def test_blocked_matrix_rejects_improper_groups(self):
+        prob = plate_problem(5)
+        # Group everything by parity of the unknown index — same-node (u, v)
+        # pairs land in different groups but neighbor couplings collide.
+        bad = (np.arange(prob.n) // 4) % 3
+        ordering = MulticolorOrdering.from_groups(bad)
+        with pytest.raises(ValueError):
+            BlockedMatrix.from_matrix(prob.k, ordering)
+
+    def test_zero_diagonal_rejected_before_any_sweep(self):
+        k = sp.csr_matrix(
+            np.array([[0.0, 1.0, 0.0], [1.0, 2.0, 1.0], [0.0, 1.0, 2.0]])
+        )
+        ordering = MulticolorOrdering.from_groups(np.array([0, 1, 0]))
+        with pytest.raises(ValueError, match="non-positive diagonal"):
+            BlockedMatrix.from_matrix(k, ordering)
+
+
+class TestDegenerateGeometry:
+    def test_mesh_rejects_single_row(self):
+        with pytest.raises(ValueError):
+            PlateMesh(1, 8)
+
+    def test_dof_index_out_of_range(self):
+        mesh = PlateMesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.node_id(10, 0)
+        with pytest.raises(ValueError):
+            mesh.dof_index(0, 2)
+
+
+class TestSolverGuards:
+    def test_maxiter_zero_returns_not_converged(self):
+        prob = plate_problem(4)
+        result = cg(prob.k, prob.f, eps=1e-12, maxiter=0)
+        assert not result.converged
+        assert result.iterations == 0
+
+    def test_huge_eps_converges_first_iteration(self):
+        prob = plate_problem(4)
+        result = cg(prob.k, prob.f, stopping=DeltaInfNorm(1e9))
+        assert result.converged
+        assert result.iterations == 1
+
+    def test_mstep_ssor_never_mutates_input(self):
+        prob = plate_problem(5)
+        from repro.driver import build_blocked_system
+
+        blocked = build_blocked_system(prob)
+        applicator = MStepSSOR(blocked, neumann_coefficients(3))
+        r = np.ones(blocked.n)
+        r_copy = r.copy()
+        applicator.apply(r)
+        assert np.array_equal(r, r_copy)
+
+    def test_pcg_never_mutates_rhs(self):
+        prob = plate_problem(5)
+        f_copy = prob.f.copy()
+        pcg(prob.k, prob.f, eps=1e-8)
+        assert np.array_equal(prob.f, f_copy)
+
+    def test_ssor_splitting_never_mutates_matrix(self):
+        prob = plate_problem(5)
+        before = prob.k.copy()
+        splitting = SSORSplitting(prob.k)
+        splitting.apply_p_inv(np.ones(prob.n))
+        assert (prob.k - before).nnz == 0

@@ -1,0 +1,110 @@
+"""Tests for irregular regions with greedy multicoloring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import solve_mstep_ssor
+from repro.driver import build_blocked_system, ssor_interval
+from repro.fem.irregular import l_shaped_problem, perforated_problem
+from repro.multicolor import validate_groups
+from repro.util import is_spd
+
+
+@pytest.fixture(scope="module")
+def l_problem():
+    return l_shaped_problem(9)
+
+
+@pytest.fixture(scope="module")
+def holed_problem():
+    return perforated_problem(9)
+
+
+class TestDomainConstruction:
+    def test_l_shape_removes_quadrant(self, l_problem):
+        kept = l_problem.kept_cells
+        assert not kept[-1, -1]
+        assert kept[0, 0]
+        # roughly a quarter of the cells removed
+        removed = kept.size - int(kept.sum())
+        assert removed == pytest.approx(kept.size / 4, rel=0.3)
+
+    def test_active_nodes_touch_every_kept_triangle(self, l_problem):
+        active = set(int(n) for n in l_problem.active_nodes)
+        for tri in l_problem.kept_triangles:
+            assert all(int(t) in active for t in tri)
+
+    def test_system_is_spd(self, l_problem, holed_problem):
+        assert is_spd(l_problem.k)
+        assert is_spd(holed_problem.k)
+
+    def test_unknown_count(self, l_problem):
+        assert l_problem.n == 2 * l_problem.free_nodes.size
+
+    def test_loads_on_surviving_right_edge(self, l_problem):
+        # The L-shape keeps the lower part of the right edge: loads ≠ 0.
+        assert float(np.abs(l_problem.f).sum()) > 0
+        # y-loads are zero (pure x-traction).
+        assert float(np.abs(l_problem.f[1::2]).sum()) == 0.0
+
+    def test_domain_ascii_shows_notch(self, l_problem):
+        art = l_problem.domain_ascii()
+        assert "." in art and "#" in art and "x" in art
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            l_shaped_problem(4, notch_fraction=0.999)
+
+    def test_bad_coloring_mode_rejected(self):
+        with pytest.raises(ValueError):
+            l_shaped_problem(6, coloring="psychic")
+
+
+class TestGreedyColoringOnIrregular:
+    def test_grouping_is_proper(self, l_problem, holed_problem):
+        validate_groups(l_problem.k, l_problem.group_of_unknown)
+        validate_groups(holed_problem.k, holed_problem.group_of_unknown)
+
+    def test_node_mode_groups_are_color_times_component(self, l_problem):
+        groups = l_problem.group_of_unknown
+        comps = l_problem.component_of_unknown
+        assert np.all((groups % 2) == comps)
+
+    def test_matrix_mode_also_proper(self):
+        prob = l_shaped_problem(7, coloring="matrix")
+        validate_groups(prob.k, prob.group_of_unknown)
+
+    def test_group_count_reasonable(self, l_problem):
+        # Greedy needs at most Δ+1 node colors; the triangular lattice has
+        # Δ = 6, and in practice greedy lands at 3–5 node colors → ≤10 groups.
+        assert 6 <= l_problem.n_groups <= 12
+
+
+class TestSolves:
+    @pytest.mark.parametrize("factory", [l_shaped_problem, perforated_problem])
+    def test_mstep_ssor_solves_and_helps(self, factory):
+        prob = factory(8)
+        blocked = build_blocked_system(prob)
+        interval = ssor_interval(blocked)
+        base = solve_mstep_ssor(prob, 0, blocked=blocked, eps=1e-8)
+        fitted = solve_mstep_ssor(
+            prob, 3, parametrized=True, interval=interval, blocked=blocked, eps=1e-8
+        )
+        assert base.result.converged and fitted.result.converged
+        assert fitted.iterations < base.iterations / 2
+        resid = np.max(np.abs(prob.f - prob.k @ fitted.u))
+        assert resid < 1e-6
+
+    def test_solution_matches_direct(self, l_problem):
+        solve = solve_mstep_ssor(l_problem, 2, eps=1e-10)
+        direct = l_problem.direct_solution()
+        assert solve.u == pytest.approx(direct, rel=1e-4, abs=1e-7)
+
+    @given(st.integers(5, 10), st.floats(0.25, 0.6))
+    @settings(max_examples=6, deadline=None)
+    def test_property_any_notch_solvable(self, a, notch):
+        prob = l_shaped_problem(a, notch_fraction=notch)
+        solve = solve_mstep_ssor(prob, 1, eps=1e-7)
+        assert solve.result.converged

@@ -1,0 +1,204 @@
+"""Unit and property tests for the plate mesh (Figure 1 structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import PlateMesh
+from repro.fem.mesh import BLACK, GREEN, RED
+
+mesh_dims = st.tuples(st.integers(2, 14), st.integers(2, 14))
+
+
+@pytest.fixture
+def mesh66():
+    """The Finite Element Machine test problem: 6 rows × 6 columns."""
+    return PlateMesh(nrows=6, ncols=6)
+
+
+class TestSizes:
+    def test_paper_6x6_has_60_equations(self, mesh66):
+        assert mesh66.n_unknowns == 60  # "60 equations" in Section 4
+
+    def test_a_and_b(self, mesh66):
+        assert mesh66.a == 6
+        assert mesh66.b == 5
+
+    def test_triangle_count(self, mesh66):
+        assert mesh66.n_triangles == 2 * 5 * 5
+        assert mesh66.triangles.shape == (50, 3)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            PlateMesh(nrows=1, ncols=5)
+        with pytest.raises(ValueError):
+            PlateMesh(nrows=5, ncols=5, width=-1.0)
+
+
+class TestIndexing:
+    def test_node_id_roundtrip(self, mesh66):
+        for node in range(mesh66.n_nodes):
+            i, j = mesh66.node_ij(node)
+            assert mesh66.node_id(i, j) == node
+
+    def test_coordinates_corners(self):
+        mesh = PlateMesh(nrows=3, ncols=4, width=3.0, height=2.0)
+        coords = mesh.coordinates
+        assert coords[mesh.node_id(0, 0)] == pytest.approx([0.0, 0.0])
+        assert coords[mesh.node_id(3, 2)] == pytest.approx([3.0, 2.0])
+
+    @given(mesh_dims)
+    def test_dof_indices_are_bijective(self, dims):
+        nrows, ncols = dims
+        mesh = PlateMesh(nrows=nrows, ncols=ncols)
+        seen = set()
+        for node in mesh.unconstrained_nodes:
+            for dof in (0, 1):
+                seen.add(mesh.dof_index(int(node), dof))
+        assert seen == set(range(mesh.n_unknowns))
+
+    def test_constrained_node_dof_is_negative(self, mesh66):
+        assert mesh66.dof_index(mesh66.node_id(0, 0), 0) == -1
+
+    def test_dof_node_and_component_consistent(self, mesh66):
+        for idx in range(mesh66.n_unknowns):
+            node = int(mesh66.dof_node[idx])
+            comp = int(mesh66.dof_component[idx])
+            assert mesh66.dof_index(node, comp) == idx
+
+
+class TestTriangulation:
+    def test_triangles_are_ccw(self, mesh66):
+        coords = mesh66.coordinates
+        tri = coords[mesh66.triangles]
+        area2 = (tri[:, 1, 0] - tri[:, 0, 0]) * (tri[:, 2, 1] - tri[:, 0, 1]) - (
+            tri[:, 2, 0] - tri[:, 0, 0]
+        ) * (tri[:, 1, 1] - tri[:, 0, 1])
+        assert np.all(area2 > 0)
+
+    def test_triangles_tile_the_plate(self, mesh66):
+        coords = mesh66.coordinates
+        tri = coords[mesh66.triangles]
+        area2 = (tri[:, 1, 0] - tri[:, 0, 0]) * (tri[:, 2, 1] - tri[:, 0, 1]) - (
+            tri[:, 2, 0] - tri[:, 0, 0]
+        ) * (tri[:, 1, 1] - tri[:, 0, 1])
+        assert float(np.sum(area2) / 2.0) == pytest.approx(
+            mesh66.width * mesh66.height
+        )
+
+    def test_interior_node_has_six_neighbors(self, mesh66):
+        interior = mesh66.node_id(3, 3)
+        assert len(mesh66.neighbors(interior)) == 6
+
+    def test_corner_neighbor_counts(self, mesh66):
+        # The SW corner has E and N plus the NW diagonal of the '/' split.
+        sw = mesh66.node_id(0, 0)
+        assert len(mesh66.neighbors(sw)) == 2  # (-1,1) off grid, (1,-1) off grid
+        ne = mesh66.node_id(5, 5)
+        assert len(mesh66.neighbors(ne)) == 2
+
+    @given(mesh_dims)
+    @settings(max_examples=25)
+    def test_neighbor_relation_is_symmetric(self, dims):
+        nrows, ncols = dims
+        mesh = PlateMesh(nrows=nrows, ncols=ncols)
+        adj = mesh.adjacency
+        for node, nbrs in adj.items():
+            for other in nbrs:
+                assert node in adj[other]
+
+    @given(mesh_dims)
+    @settings(max_examples=25)
+    def test_triangle_edges_are_neighbor_pairs(self, dims):
+        nrows, ncols = dims
+        mesh = PlateMesh(nrows=nrows, ncols=ncols)
+        adj = mesh.adjacency
+        for tri in mesh.triangles:
+            for p, q in ((0, 1), (1, 2), (0, 2)):
+                assert int(tri[q]) in adj[int(tri[p])]
+
+
+class TestColoring:
+    @given(mesh_dims)
+    @settings(max_examples=40)
+    def test_every_triangle_tricolored(self, dims):
+        nrows, ncols = dims
+        mesh = PlateMesh(nrows=nrows, ncols=ncols)
+        mesh.validate_coloring()  # raises on violation
+
+    @given(mesh_dims)
+    @settings(max_examples=40)
+    def test_no_adjacent_nodes_share_color(self, dims):
+        nrows, ncols = dims
+        mesh = PlateMesh(nrows=nrows, ncols=ncols)
+        colors = mesh.node_colors
+        for node, nbrs in mesh.adjacency.items():
+            for other in nbrs:
+                assert colors[node] != colors[other]
+
+    def test_first_node_is_red(self, mesh66):
+        assert mesh66.node_colors[mesh66.node_id(0, 0)] == RED
+
+    def test_paper_wrap_rule(self):
+        # ncols ≡ 2 (mod 3): the last node of the first row is Black and the
+        # sequential R/B/G numbering wraps consistently (all Table-2 meshes).
+        for ncols in (5, 8, 20, 41, 62, 80):
+            mesh = PlateMesh(nrows=3, ncols=ncols)
+            assert mesh.sequential_wrap_consistent
+            assert mesh.node_colors[mesh.node_id(ncols - 1, 0)] == BLACK
+
+    def test_sequential_numbering_matches_closed_form_when_consistent(self):
+        mesh = PlateMesh(nrows=4, ncols=5)
+        sequential = np.arange(mesh.n_nodes) % 3  # R,B,G,R,B,G,... row-major
+        assert np.array_equal(sequential, mesh.node_colors)
+
+    def test_color_counts_sum(self, mesh66):
+        assert int(mesh66.color_counts().sum()) == mesh66.n_nodes
+
+    def test_colors_balanced_within_one(self):
+        mesh = PlateMesh(nrows=20, ncols=20)
+        counts = mesh.color_counts()
+        assert counts.max() - counts.min() <= 2
+
+    def test_ascii_rendition_shape(self, mesh66):
+        art = mesh66.coloring_ascii()
+        lines = art.splitlines()
+        assert len(lines) == 6
+        assert all(len(line.split()) == 6 for line in lines)
+        assert set("".join(line.replace(" ", "") for line in lines)) <= set("RBG")
+        assert mesh66.color_ij(0, 0) == RED and GREEN in mesh66.node_colors
+
+
+class TestConstraints:
+    def test_left_column_constrained(self, mesh66):
+        assert np.array_equal(
+            mesh66.constrained_nodes,
+            np.array([mesh66.node_id(0, j) for j in range(6)]),
+        )
+
+    def test_loaded_edge_is_right_column(self, mesh66):
+        assert np.array_equal(
+            mesh66.loaded_nodes,
+            np.array([mesh66.node_id(5, j) for j in range(6)]),
+        )
+
+    def test_unconstrained_count(self, mesh66):
+        assert mesh66.unconstrained_nodes.size == 30
+
+
+class TestVectorLength:
+    @pytest.mark.parametrize(
+        "a, expected_low, expected_high",
+        [(20, 130, 136), (41, 555, 565), (62, 1275, 1290), (80, 2125, 2140)],
+    )
+    def test_table2_vector_lengths(self, a, expected_low, expected_high):
+        # Paper reports v = 132, 561, 1282, 2134 for a = 20, 41, 62, 80;
+        # the closed form gives ceil(a²/3) up to color-count rounding.
+        mesh = PlateMesh(nrows=a, ncols=a)
+        assert expected_low <= mesh.max_vector_length() <= expected_high
+
+    def test_vector_length_close_to_a_squared_over_3(self):
+        mesh = PlateMesh(nrows=55, ncols=55)
+        # "around 1000 when a = 55"
+        assert abs(mesh.max_vector_length() - 55 * 55 / 3) <= 2

@@ -1,0 +1,130 @@
+"""Tests for the model problem factories and stencil extraction (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import (
+    node_stencil,
+    plate_problem,
+    poisson_problem,
+    stencil_summary,
+)
+from repro.fem.stencil import max_row_nonzeros
+from repro.util import is_spd
+
+
+class TestPlateProblem:
+    @pytest.fixture(scope="class")
+    def prob(self):
+        return plate_problem(6)
+
+    def test_paper_sizes(self, prob):
+        assert prob.n == 60
+        assert prob.mesh.a == 6 and prob.mesh.b == 5
+
+    def test_groups_partition_unknowns(self, prob):
+        groups = prob.group_of_unknown
+        assert groups.shape == (60,)
+        assert set(np.unique(groups)) <= set(range(6))
+        assert len(prob.group_labels) == 6
+
+    def test_group_encodes_color_and_dof(self, prob):
+        mesh = prob.mesh
+        for idx in range(prob.n):
+            node = int(mesh.dof_node[idx])
+            dof = int(mesh.dof_component[idx])
+            expected = 2 * int(mesh.node_colors[node]) + dof
+            assert prob.group_of_unknown[idx] == expected
+
+    def test_direct_solution_solves_system(self, prob):
+        u = prob.direct_solution()
+        r = prob.f - prob.k @ u
+        assert np.max(np.abs(r)) < 1e-10 * max(1.0, np.max(np.abs(prob.f)))
+
+    def test_rectangular_plate(self):
+        prob = plate_problem(4, ncols=8, width=2.0)
+        assert prob.n == 2 * 4 * 7
+        assert is_spd(prob.k)
+
+    @given(st.integers(3, 8))
+    @settings(max_examples=6, deadline=None)
+    def test_any_size_is_spd(self, a):
+        assert is_spd(plate_problem(a).k)
+
+
+class TestPoissonProblem:
+    def test_matrix_is_scaled_5_point_stencil(self):
+        prob = poisson_problem(3)
+        h2 = (1.0 / 4.0) ** 2
+        dense = prob.k.toarray() * h2
+        assert dense[4, 4] == pytest.approx(4.0)
+        assert dense[4, 1] == pytest.approx(-1.0)
+        assert dense[4, 3] == pytest.approx(-1.0)
+        assert dense[0, 4] == pytest.approx(0.0)
+
+    def test_spd(self):
+        assert is_spd(poisson_problem(8).k)
+
+    def test_red_black_is_proper_two_coloring(self):
+        prob = poisson_problem(7)
+        colors = prob.group_of_unknown
+        k = prob.k.tocoo()
+        off = k.row != k.col
+        assert np.all(colors[k.row[off]] != colors[k.col[off]])
+
+    def test_rhs_variants(self):
+        ones = poisson_problem(5, rhs="ones")
+        peak = poisson_problem(5, rhs="peak")
+        assert np.all(ones.f == 1.0)
+        assert peak.f.max() == pytest.approx(1.0, abs=0.2)
+        with pytest.raises(ValueError):
+            poisson_problem(5, rhs="nope")
+
+    def test_solution_positive_inside(self):
+        prob = poisson_problem(10)
+        u = prob.direct_solution()
+        assert np.all(u > 0)
+
+
+class TestStencil:
+    def test_interior_stencil_is_figure_2(self):
+        prob = plate_problem(7)
+        mesh = prob.mesh
+        node = mesh.node_id(3, 3)
+        stencil = node_stencil(mesh, prob.k, node)
+        assert set(stencil) == {
+            (0, 0), (-1, 0), (1, 0), (0, -1), (0, 1), (-1, 1), (1, -1),
+        }
+        # ≤ two dofs per stencil node → ≤14 nonzeros; on the uniform
+        # isotropic mesh the diagonal-neighbor u–u terms cancel exactly,
+        # leaving one (v) coupling on the NW and SE offsets.
+        assert sum(stencil.values()) <= 14
+        assert stencil[(0, 0)] == 2
+        assert stencil[(-1, 0)] == 2 and stencil[(1, 0)] == 2
+        assert stencil[(0, -1)] == 2 and stencil[(0, 1)] == 2
+        assert stencil[(-1, 1)] >= 1 and stencil[(1, -1)] >= 1
+
+    def test_no_forbidden_diagonals(self):
+        # The '/' triangulation couples NW/SE, never NE/SW.
+        prob = plate_problem(7)
+        mesh = prob.mesh
+        stencil = node_stencil(mesh, prob.k, mesh.node_id(4, 2))
+        assert (1, 1) not in stencil
+        assert (-1, -1) not in stencil
+
+    def test_constrained_node_rejected(self):
+        prob = plate_problem(5)
+        with pytest.raises(ValueError):
+            node_stencil(prob.mesh, prob.k, prob.mesh.node_id(0, 2))
+
+    def test_max_row_nonzeros_bound(self):
+        prob = plate_problem(8)
+        assert max_row_nonzeros(prob.k) <= 14
+
+    def test_summary_mentions_count(self):
+        prob = plate_problem(7)
+        text = stencil_summary(prob.mesh, prob.k, prob.mesh.node_id(3, 3))
+        assert "14" in text
+        assert "(u,v)" in text

@@ -1,0 +1,221 @@
+"""Unit and property tests for CST plane-stress assembly."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import ElasticMaterial, PlateMesh, assemble_plate, cst_stiffness
+from repro.fem.plane_stress import edge_traction_loads
+from repro.util import is_spd, is_symmetric
+
+
+def rigid_body_modes(coords):
+    """Columns: x-translation, y-translation, infinitesimal rotation."""
+    modes = np.zeros((6, 3))
+    modes[0::2, 0] = 1.0
+    modes[1::2, 1] = 1.0
+    modes[0::2, 2] = -coords[:, 1]
+    modes[1::2, 2] = coords[:, 0]
+    return modes
+
+
+class TestMaterial:
+    def test_d_matrix_known_values(self):
+        mat = ElasticMaterial(youngs_modulus=1.0, poissons_ratio=0.0)
+        assert mat.d_matrix == pytest.approx(np.diag([1.0, 1.0, 0.5]))
+
+    def test_d_matrix_symmetric_positive(self):
+        mat = ElasticMaterial(youngs_modulus=210e9, poissons_ratio=0.3)
+        d = mat.d_matrix
+        assert is_symmetric(d)
+        assert np.all(np.linalg.eigvalsh(d) > 0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ElasticMaterial(youngs_modulus=-1.0)
+        with pytest.raises(ValueError):
+            ElasticMaterial(poissons_ratio=0.5)
+        with pytest.raises(ValueError):
+            ElasticMaterial(thickness=0.0)
+
+
+class TestElementStiffness:
+    unit_triangle = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+    def test_symmetric(self):
+        ke = cst_stiffness(self.unit_triangle, ElasticMaterial())
+        assert np.array_equal(ke, ke.T)
+
+    def test_positive_semidefinite_with_rank_3(self):
+        ke = cst_stiffness(self.unit_triangle, ElasticMaterial())
+        eigs = np.linalg.eigvalsh(ke)
+        assert eigs[0] >= -1e-12
+        assert np.sum(eigs > 1e-10) == 3  # 6 dofs − 3 rigid modes
+
+    def test_rigid_modes_in_nullspace(self):
+        ke = cst_stiffness(self.unit_triangle, ElasticMaterial())
+        modes = rigid_body_modes(self.unit_triangle)
+        assert np.max(np.abs(ke @ modes)) < 1e-12
+
+    def test_rejects_clockwise_triangle(self):
+        cw = self.unit_triangle[::-1]
+        with pytest.raises(ValueError):
+            cst_stiffness(cw, ElasticMaterial())
+
+    def test_scales_linearly_with_E_and_t(self):
+        base = cst_stiffness(self.unit_triangle, ElasticMaterial(youngs_modulus=1.0))
+        scaled = cst_stiffness(
+            self.unit_triangle,
+            ElasticMaterial(youngs_modulus=7.0, thickness=2.0),
+        )
+        assert scaled == pytest.approx(14.0 * base)
+
+    def test_translation_invariance(self):
+        shifted = self.unit_triangle + np.array([3.0, -2.0])
+        a = cst_stiffness(self.unit_triangle, ElasticMaterial())
+        b = cst_stiffness(shifted, ElasticMaterial())
+        assert b == pytest.approx(a)
+
+    @given(
+        st.floats(0.1, 10.0),
+        st.floats(0.1, 10.0),
+        st.floats(-5.0, 5.0),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30)
+    def test_random_triangles_keep_rigid_nullspace(self, sx, sy, shear, seed):
+        coords = self.unit_triangle @ np.array([[sx, 0.0], [shear, sy]])
+        # Keep CCW orientation; the map's determinant is sx·sy > 0.
+        mat = ElasticMaterial(youngs_modulus=2.0, poissons_ratio=0.25)
+        ke = cst_stiffness(coords, mat)
+        modes = rigid_body_modes(coords)
+        assert np.max(np.abs(ke @ modes)) < 1e-9 * max(1.0, np.max(np.abs(ke)))
+
+
+class TestVectorizedAssemblyEqualsReference:
+    @given(st.integers(3, 8), st.integers(3, 8), st.floats(0.05, 0.45))
+    @settings(max_examples=8, deadline=None)
+    def test_batched_einsum_matches_per_element_loop(self, nrows, ncols, nu):
+        from repro.fem.plane_stress import assemble_from_triangles
+
+        mesh = PlateMesh(nrows, ncols)
+        mat = ElasticMaterial(poissons_ratio=nu, thickness=1.3)
+        vec = assemble_from_triangles(
+            mesh.coordinates, mesh.triangles, mat
+        ).toarray()
+        ref = np.zeros_like(vec)
+        for tri in mesh.triangles:
+            ke = cst_stiffness(mesh.coordinates[tri], mat)
+            dofs = np.empty(6, dtype=int)
+            dofs[0::2] = 2 * tri
+            dofs[1::2] = 2 * tri + 1
+            ref[np.ix_(dofs, dofs)] += ke
+        assert vec == pytest.approx(ref, rel=1e-12, abs=1e-13)
+
+    def test_empty_triangle_set(self):
+        from repro.fem.plane_stress import assemble_from_triangles
+
+        mesh = PlateMesh(3, 3)
+        k = assemble_from_triangles(
+            mesh.coordinates, mesh.triangles[:0], ElasticMaterial()
+        )
+        assert k.shape == (2 * mesh.n_nodes, 2 * mesh.n_nodes)
+        assert k.nnz == 0
+
+
+class TestAssembly:
+    @pytest.fixture
+    def system66(self):
+        mesh = PlateMesh(nrows=6, ncols=6)
+        k, f = assemble_plate(mesh)
+        return mesh, k, f
+
+    def test_dimension_matches_2ab(self, system66):
+        mesh, k, f = system66
+        assert k.shape == (60, 60)
+        assert f.shape == (60,)
+
+    def test_spd(self, system66):
+        _, k, _ = system66
+        assert is_spd(k)
+
+    def test_at_most_14_nonzeros_per_row(self, system66):
+        _, k, _ = system66
+        assert int(np.diff(k.tocsr().indptr).max()) <= 14
+
+    def test_interior_row_nonzeros(self):
+        # The paper's Figure-2 stencil reserves 14 slots per equation.  On
+        # the *uniform* isotropic mesh the u–u coupling across the '/'
+        # diagonal cancels exactly between the two shared triangles, so the
+        # numerical count is 12 — still within the paper's ≤14 bound, and all
+        # seven stencil nodes remain coupled (through u or v).
+        mesh = PlateMesh(nrows=7, ncols=7)
+        k, _ = assemble_plate(mesh)
+        row = mesh.dof_index(mesh.node_id(3, 3), 0)
+        nnz = k.tocsr().getrow(row).nnz
+        assert nnz == 12
+        assert nnz <= 14
+
+    def test_load_only_on_loaded_edge(self, system66):
+        mesh, _, f = system66
+        loaded_dofs = {mesh.dof_index(int(n), 0) for n in mesh.loaded_nodes}
+        nonzero = set(np.flatnonzero(np.abs(f) > 0).tolist())
+        assert nonzero == loaded_dofs
+
+    def test_total_load_equals_traction_resultant(self, system66):
+        mesh, _, f = system66
+        material = ElasticMaterial()
+        # Uniform unit x-traction over edge of length `height` and thickness t.
+        assert float(f.sum()) == pytest.approx(material.thickness * mesh.height)
+
+    def test_solution_pulls_plate_in_x(self, system66):
+        mesh, k, f = system66
+        u = sp.linalg.spsolve(k.tocsc(), f)
+        ux = u[0::2]
+        assert np.all(ux > -1e-12)
+        # Displacement grows toward the loaded edge.
+        cols = np.array([mesh.node_ij(int(n))[0] for n in mesh.unconstrained_nodes])
+        mean_near = ux[cols == 1].mean()
+        mean_far = ux[cols == mesh.ncols - 1].mean()
+        assert mean_far > mean_near
+
+    def test_traction_vector_orientation(self):
+        mesh = PlateMesh(nrows=4, ncols=4)
+        material = ElasticMaterial(thickness=2.0)
+        f = edge_traction_loads(mesh, material, traction_x=0.0, traction_y=3.0)
+        # y-loads only, summing to t·q·height.
+        assert float(f[0::2].sum()) == 0.0
+        assert float(f[1::2].sum()) == pytest.approx(2.0 * 3.0 * mesh.height)
+
+    @given(st.integers(3, 9), st.integers(3, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_assembled_matrix_symmetric_any_size(self, nrows, ncols):
+        mesh = PlateMesh(nrows=nrows, ncols=ncols)
+        k, _ = assemble_plate(mesh)
+        assert is_symmetric(k)
+
+    def test_free_floating_assembly_has_zero_row_sums(self):
+        # Before constraints, translations are in the nullspace: K·1 = 0 for
+        # each displacement direction.  Reassemble without eliminating by
+        # using a mesh whose "constrained" column we re-add via full assembly.
+        mesh = PlateMesh(nrows=5, ncols=5)
+        material = ElasticMaterial()
+        from repro.fem.plane_stress import cst_stiffness as ke_fn
+
+        n_full = 2 * mesh.n_nodes
+        k_full = np.zeros((n_full, n_full))
+        for tri in mesh.triangles:
+            ke = ke_fn(mesh.coordinates[tri], material)
+            dofs = np.empty(6, dtype=int)
+            dofs[0::2] = 2 * tri
+            dofs[1::2] = 2 * tri + 1
+            k_full[np.ix_(dofs, dofs)] += ke
+        ones_x = np.zeros(n_full)
+        ones_x[0::2] = 1.0
+        ones_y = np.zeros(n_full)
+        ones_y[1::2] = 1.0
+        scale = np.max(np.abs(k_full))
+        assert np.max(np.abs(k_full @ ones_x)) < 1e-12 * scale
+        assert np.max(np.abs(k_full @ ones_y)) < 1e-12 * scale

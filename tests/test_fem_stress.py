@@ -1,0 +1,80 @@
+"""Tests for stress recovery — closes the loop on the plate physics."""
+
+import numpy as np
+import pytest
+
+from repro import plate_problem, solve_mstep_ssor
+from repro.fem.stress import (
+    ElementStress,
+    element_stresses,
+    nodal_stresses,
+    von_mises,
+)
+
+
+@pytest.fixture(scope="module")
+def solved_plate():
+    problem = plate_problem(10)
+    solve = solve_mstep_ssor(problem, 3, eps=1e-10)
+    return problem, solve.u
+
+
+class TestElementStress:
+    def test_von_mises_uniaxial(self):
+        s = ElementStress(sigma_xx=2.0, sigma_yy=0.0, tau_xy=0.0)
+        assert s.von_mises == pytest.approx(2.0)
+
+    def test_von_mises_pure_shear(self):
+        s = ElementStress(0.0, 0.0, 1.0)
+        assert s.von_mises == pytest.approx(np.sqrt(3.0))
+
+    def test_count_matches_triangles(self, solved_plate):
+        problem, u = solved_plate
+        stresses = element_stresses(problem.mesh, problem.material, u)
+        assert len(stresses) == problem.mesh.n_triangles
+
+
+class TestPhysics:
+    def test_uniaxial_tension_field(self, solved_plate):
+        # Uniform x-traction of magnitude 1 on the free edge → σ_xx ≈ 1
+        # away from the clamped edge (Saint-Venant), σ_yy ≈ 0, τ ≈ 0.
+        problem, u = solved_plate
+        mesh = problem.mesh
+        nodal = nodal_stresses(mesh, problem.material, u)
+        interior = [
+            mesh.node_id(i, j)
+            for i in range(mesh.ncols // 2, mesh.ncols - 1)
+            for j in range(2, mesh.nrows - 2)
+        ]
+        sx = nodal[interior, 0]
+        sy = nodal[interior, 1]
+        assert np.mean(sx) == pytest.approx(1.0, abs=0.08)
+        assert np.max(np.abs(sy)) < 0.25
+
+    def test_stress_concentration_at_clamp(self, solved_plate):
+        # The clamped corners carry the highest equivalent stress.
+        problem, u = solved_plate
+        mesh = problem.mesh
+        nodal = nodal_stresses(mesh, problem.material, u)
+        vm = von_mises(nodal)
+        corner = mesh.node_id(0, 0)
+        mid_field = mesh.node_id(mesh.ncols // 2, mesh.nrows // 2)
+        assert vm[corner] > vm[mid_field]
+
+    def test_zero_displacement_zero_stress(self):
+        problem = plate_problem(6)
+        nodal = nodal_stresses(
+            problem.mesh, problem.material, np.zeros(problem.n)
+        )
+        assert np.max(np.abs(nodal)) == 0.0
+
+    def test_linearity(self, solved_plate):
+        problem, u = solved_plate
+        one = nodal_stresses(problem.mesh, problem.material, u)
+        two = nodal_stresses(problem.mesh, problem.material, 2.0 * u)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_length_validation(self):
+        problem = plate_problem(5)
+        with pytest.raises(ValueError):
+            element_stresses(problem.mesh, problem.material, np.zeros(3))

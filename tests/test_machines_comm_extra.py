@@ -1,0 +1,91 @@
+"""Additional accounting tests for comm and timing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import CYBER_203, FEM_1983, VectorTimingModel
+from repro.machines.comm import CommLog
+
+
+class TestCommLogCounters:
+    def test_reduction_and_flag_counters(self):
+        log = CommLog(FEM_1983)
+        t_red = log.add_reduction(8, "software")
+        t_flag = log.add_flag_sync()
+        assert log.reductions == 1
+        assert log.flag_syncs == 1
+        assert t_red == FEM_1983.reduction_time(8, "software")
+        assert t_flag == FEM_1983.flag_sync_time
+
+    def test_records_accumulate_per_pair(self):
+        log = CommLog(FEM_1983)
+        log.add_record(0, 1, 4)
+        log.add_record(0, 1, 6)
+        log.add_record(1, 0, 2)
+        assert log.records[(0, 1)] == 2
+        assert log.words[(0, 1)] == 10
+        assert log.total_records == 3
+        assert log.total_words == 12
+
+    def test_traffic_matrix_shape(self):
+        log = CommLog(FEM_1983)
+        log.add_record(2, 0, 5)
+        matrix = log.traffic_matrix(3)
+        assert matrix[2][0] == 5
+        assert matrix[0][2] == 0
+
+
+class TestTimingProperties:
+    @given(st.integers(1, 100_000))
+    @settings(max_examples=30)
+    def test_efficiency_monotone_in_length(self, n):
+        model = CYBER_203
+        assert model.efficiency(n + 1) >= model.efficiency(n)
+        assert 0.0 < model.efficiency(n) < 1.0
+
+    @given(st.integers(1, 50_000), st.integers(1, 50_000))
+    @settings(max_examples=30)
+    def test_vector_op_time_superadditive(self, n1, n2):
+        # Splitting a long vector op into two shorter ones always costs
+        # more (two startups) — the reason the paper pads with constrained
+        # nodes to keep vectors long.
+        model = CYBER_203
+        assert model.vector_op_time(n1) + model.vector_op_time(n2) > (
+            model.vector_op_time(n1 + n2)
+        )
+
+    @given(st.integers(2, 4096))
+    @settings(max_examples=30)
+    def test_circuit_never_slower_than_software(self, p):
+        assert FEM_1983.reduction_time(p, "circuit") <= FEM_1983.reduction_time(
+            p, "software"
+        )
+
+    def test_custom_model_dot_components(self):
+        model = VectorTimingModel(
+            startup_elements=10.0,
+            element_time=1e-6,
+            sum_startup_elements=20.0,
+        )
+        n = 64
+        expected_multiply = (10.0 + n) * 1e-6
+        stages = 6  # log2(64)
+        expected_sum = (stages * 20.0 + n) * 1e-6
+        assert model.dot_time(n) == pytest.approx(expected_multiply + expected_sum)
+
+
+class TestPreconSpectrumProperties:
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_preconditioned_spectrum_sorted_and_mapped(self, m, seed):
+        from repro.core import neumann_coefficients, preconditioned_spectrum
+
+        rng = np.random.default_rng(seed)
+        mu = rng.uniform(0.01, 1.0, size=12)
+        mapped = preconditioned_spectrum(mu, neumann_coefficients(m))
+        assert np.all(np.diff(mapped) >= 0)
+        assert mapped == pytest.approx(
+            np.sort(1.0 - (1.0 - mu) ** m), rel=1e-12
+        )

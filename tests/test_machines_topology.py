@@ -1,0 +1,143 @@
+"""Tests for processor topology and node assignment (Figures 3, 4, 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import PlateMesh
+from repro.machines import Assignment, ProcessorGrid
+
+
+@pytest.fixture(scope="module")
+def mesh66():
+    return PlateMesh(6, 6)
+
+
+class TestProcessorGrid:
+    def test_ids_roundtrip(self):
+        grid = ProcessorGrid(3, 4)
+        for p in range(12):
+            pc, pr = grid.proc_rc(p)
+            assert grid.proc_id(pc, pr) == p
+
+    def test_for_count_matches_figure5(self, mesh66):
+        # 2 processors → 2×1 (rows split 3+3); 5 → 1×5 (one column each).
+        g2 = ProcessorGrid.for_count(2, mesh66)
+        assert (g2.prows, g2.pcols) == (2, 1)
+        g5 = ProcessorGrid.for_count(5, mesh66)
+        assert (g5.prows, g5.pcols) == (1, 5)
+
+    def test_for_count_rejects_oversubscription(self):
+        mesh = PlateMesh(3, 3)
+        with pytest.raises(ValueError):
+            ProcessorGrid.for_count(50, mesh)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(0, 1)
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("n_procs", [1, 2, 5])
+    def test_every_unconstrained_node_assigned_once(self, mesh66, n_procs):
+        assignment = Assignment.rectangles(
+            mesh66, ProcessorGrid.for_count(n_procs, mesh66)
+        )
+        assert np.all(assignment.proc_of_node[mesh66.constrained_nodes] == -1)
+        unassigned = assignment.proc_of_node[mesh66.unconstrained_nodes]
+        assert np.all(unassigned >= 0)
+        total = sum(len(nodes) for nodes in assignment.nodes_of_proc)
+        assert total == mesh66.unconstrained_nodes.size
+
+    @pytest.mark.parametrize("n_procs", [2, 5])
+    def test_figure5_color_balance(self, mesh66, n_procs):
+        # "each processor has an equal number of R, B, and G nodes as well
+        #  as an equal number of border nodes to be communicated"
+        assignment = Assignment.rectangles(
+            mesh66, ProcessorGrid.for_count(n_procs, mesh66)
+        )
+        report = assignment.balance_report()
+        assert report["max_nodes"] == report["min_nodes"]
+        assert report["max_color_spread"] == 0
+
+    def test_unknown_ownership_partition(self, mesh66):
+        assignment = Assignment.rectangles(mesh66, ProcessorGrid(2, 1))
+        owner = assignment.proc_of_unknown
+        assert owner.shape == (60,)
+        assert np.all(owner >= 0)
+        for p in range(2):
+            assert np.all(owner[assignment.unknowns_of_proc[p]] == p)
+
+    def test_border_sets_symmetric_pairs(self, mesh66):
+        assignment = Assignment.rectangles(mesh66, ProcessorGrid(2, 1))
+        pairs = assignment.border_pairs
+        assert (0, 1) in pairs and (1, 0) in pairs
+        # 3+3 row split: each side's border is one full row of 5 nodes.
+        assert pairs[(0, 1)].size == 5
+        assert pairs[(1, 0)].size == 5
+
+    def test_border_words_by_color(self, mesh66):
+        assignment = Assignment.rectangles(mesh66, ProcessorGrid(2, 1))
+        all_words = assignment.border_words(0, 1)
+        assert all_words == 10  # 5 nodes × (u, v)
+        per_color = sum(
+            assignment.border_words(0, 1, colors=[c]) for c in range(3)
+        )
+        assert per_color == all_words
+
+    def test_neighbors_of_proc(self, mesh66):
+        assignment = Assignment.rectangles(mesh66, ProcessorGrid(1, 5))
+        assert assignment.neighbors_of_proc(0) == [1]
+        assert assignment.neighbors_of_proc(2) == [1, 3]
+
+    def test_ascii_map_shape(self, mesh66):
+        assignment = Assignment.rectangles(mesh66, ProcessorGrid(1, 5))
+        lines = assignment.ascii_map().splitlines()
+        assert len(lines) == 6
+        assert "." in lines[0]  # constrained column rendered
+
+
+class TestFigure4Links:
+    def test_interior_processor_uses_six_links(self):
+        # A 3×3 processor grid over a large plate: the '/'-stencil crosses
+        # N, S, E, W, NW, SE boundaries but never NE or SW (Figure 4).
+        mesh = PlateMesh(13, 14)  # 13 unconstrained columns
+        assignment = Assignment.rectangles(mesh, ProcessorGrid(3, 3))
+        used = assignment.links_used
+        assert used == {"N", "S", "E", "W", "NW", "SE"}
+        assert "NE" not in used and "SW" not in used
+
+    def test_column_strip_uses_two_links(self):
+        mesh = PlateMesh(6, 6)
+        assignment = Assignment.rectangles(mesh, ProcessorGrid(1, 5))
+        assert assignment.links_used == {"E", "W"}
+
+    @given(st.integers(2, 4), st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_links_subset_of_six(self, prows, pcols):
+        mesh = PlateMesh(4 * prows + 1, 4 * pcols + 2)
+        assignment = Assignment.rectangles(mesh, ProcessorGrid(prows, pcols))
+        assert assignment.links_used <= {"N", "S", "E", "W", "NW", "SE"}
+
+
+class TestFigure3Assignments:
+    @pytest.mark.parametrize(
+        "nrows, ncols, grid, nodes_per_proc",
+        [
+            (6, 10, (1, 3), 18),  # Figure 3a: 18 nodes/processor
+            (6, 7, (2, 1), 18),
+            (6, 10, (2, 3), 9),   # Figure 3c: 9 nodes/processor
+        ],
+    )
+    def test_uniform_rectangles(self, nrows, ncols, grid, nodes_per_proc):
+        mesh = PlateMesh(nrows, ncols)
+        assignment = Assignment.rectangles(mesh, ProcessorGrid(*grid))
+        sizes = {len(nodes) for nodes in assignment.nodes_of_proc}
+        assert sizes == {nodes_per_proc}
+
+    def test_near_balance_when_indivisible(self):
+        mesh = PlateMesh(7, 7)
+        assignment = Assignment.rectangles(mesh, ProcessorGrid(2, 2))
+        report = assignment.balance_report()
+        assert report["max_nodes"] - report["min_nodes"] <= 4

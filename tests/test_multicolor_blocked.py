@@ -1,0 +1,119 @@
+"""Tests for the blocked color system (3.1)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem import plate_problem, poisson_problem
+from repro.multicolor import BlockedMatrix, MulticolorOrdering
+from repro.util import is_diagonal
+
+
+@pytest.fixture(scope="module")
+def plate():
+    return plate_problem(6)
+
+
+@pytest.fixture(scope="module")
+def blocked(plate):
+    ordering = MulticolorOrdering.from_groups(
+        plate.group_of_unknown, plate.group_labels
+    )
+    return BlockedMatrix.from_matrix(plate.k, ordering)
+
+
+class TestStructure31:
+    """The permuted system must have the exact shape shown in (3.1)."""
+
+    def test_diagonal_blocks_are_positive_vectors(self, blocked):
+        assert len(blocked.diagonals) == 6
+        for d in blocked.diagonals:
+            assert np.all(d > 0)
+
+    def test_diagonal_blocks_have_no_offdiagonal_entries(self, plate, blocked):
+        permuted = blocked.permuted
+        for s in blocked.group_slices:
+            block = permuted[s, s]
+            assert is_diagonal(block, tol=0.0)
+
+    def test_same_node_blocks_diagonal(self, blocked):
+        # B₁₂, B₃₄, B₅₆ couple (u, v) at the same node → diagonal matrices.
+        assert blocked.same_node_blocks_diagonal(n_components=2)
+
+    def test_off_diagonal_blocks_present(self, blocked):
+        # For the plate every color pair couples somewhere: 30 blocks.
+        assert blocked.n_offdiagonal_blocks == 30
+
+    def test_block_symmetry(self, blocked):
+        assert blocked.symmetry_residual() < 1e-12
+
+    def test_bad_grouping_rejected(self, plate):
+        ordering = MulticolorOrdering.from_groups(
+            np.zeros(plate.n, dtype=np.int64)
+        )
+        with pytest.raises(ValueError):
+            BlockedMatrix.from_matrix(plate.k, ordering)
+
+    def test_validation_can_be_skipped_structurally(self, plate):
+        # validate=False still fails later if a diagonal block has zeros on
+        # the diagonal, but a proper coloring passes trivially.
+        ordering = MulticolorOrdering.from_groups(
+            plate.group_of_unknown, plate.group_labels
+        )
+        blocked = BlockedMatrix.from_matrix(plate.k, ordering, validate=False)
+        assert blocked.n == plate.n
+
+
+class TestMatvec:
+    def test_blockwise_equals_csr(self, blocked):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=blocked.n)
+        assert blocked.matvec_blockwise(x) == pytest.approx(blocked.matvec(x))
+
+    def test_matvec_matches_original_matrix(self, plate, blocked):
+        rng = np.random.default_rng(12)
+        x_nat = rng.normal(size=plate.n)
+        ordering = blocked.ordering
+        y_multicolor = blocked.matvec(ordering.permute_vector(x_nat))
+        y_nat = plate.k @ x_nat
+        assert ordering.unpermute_vector(y_multicolor) == pytest.approx(y_nat)
+
+    def test_block_row_sum_subset(self, blocked):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=blocked.n)
+        xg = [x[s] for s in blocked.group_slices]
+        full = blocked.block_row_sum(0, xg, range(1, 6))
+        parts = blocked.block_row_sum(0, xg, [1, 2, 3]) + blocked.block_row_sum(
+            0, xg, [4, 5]
+        )
+        assert full == pytest.approx(parts)
+
+
+class TestPoissonBlocked:
+    def test_red_black_two_blocks(self):
+        prob = poisson_problem(8)
+        ordering = MulticolorOrdering.from_groups(
+            prob.group_of_unknown, prob.group_labels
+        )
+        blocked = BlockedMatrix.from_matrix(prob.k, ordering)
+        assert blocked.n_groups == 2
+        assert blocked.n_offdiagonal_blocks == 2
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=blocked.n)
+        assert blocked.matvec_blockwise(x) == pytest.approx(blocked.matvec(x))
+
+    def test_red_black_diagonal_values(self):
+        prob = poisson_problem(5)
+        ordering = MulticolorOrdering.from_groups(prob.group_of_unknown)
+        blocked = BlockedMatrix.from_matrix(prob.k, ordering)
+        h2 = (1.0 / 6.0) ** 2
+        for d in blocked.diagonals:
+            assert d == pytest.approx(np.full(d.shape, 4.0 / h2))
+
+
+class TestRejectsNonPositiveDiagonal:
+    def test_zero_diagonal_detected(self):
+        k = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        ordering = MulticolorOrdering.from_groups(np.array([0, 1]))
+        with pytest.raises(ValueError, match="non-positive diagonal"):
+            BlockedMatrix.from_matrix(k, ordering)

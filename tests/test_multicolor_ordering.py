@@ -1,0 +1,149 @@
+"""Tests for coloring validation, greedy coloring, and the ordering."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import plate_problem, poisson_problem
+from repro.multicolor import (
+    MulticolorOrdering,
+    greedy_multicolor,
+    groups_from_node_coloring,
+    validate_groups,
+)
+
+
+@pytest.fixture(scope="module")
+def plate():
+    return plate_problem(6)
+
+
+@pytest.fixture(scope="module")
+def plate_ordering(plate):
+    return MulticolorOrdering.from_groups(
+        plate.group_of_unknown, plate.group_labels
+    )
+
+
+class TestGroupsFromNodeColoring:
+    def test_plate_groups_match_problem(self, plate):
+        mesh = plate.mesh
+        groups = groups_from_node_coloring(
+            mesh.node_colors, mesh.dof_node, mesh.dof_component
+        )
+        assert np.array_equal(groups, plate.group_of_unknown)
+
+    def test_six_groups_for_three_colors(self, plate):
+        assert set(np.unique(plate.group_of_unknown)) == set(range(6))
+
+    def test_component_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            groups_from_node_coloring(
+                np.array([0, 1]), np.array([0, 1]), np.array([0, 5])
+            )
+
+
+class TestValidateGroups:
+    def test_plate_coloring_is_proper(self, plate):
+        validate_groups(plate.k, plate.group_of_unknown)
+
+    def test_poisson_red_black_is_proper(self):
+        prob = poisson_problem(6)
+        validate_groups(prob.k, prob.group_of_unknown)
+
+    def test_catches_violation(self, plate):
+        bad = np.zeros(plate.n, dtype=np.int64)  # everything one group
+        with pytest.raises(ValueError, match="coupled"):
+            validate_groups(plate.k, bad)
+
+    def test_wrong_length_rejected(self, plate):
+        with pytest.raises(ValueError):
+            validate_groups(plate.k, np.zeros(3, dtype=np.int64))
+
+
+class TestGreedyMulticolor:
+    def test_produces_proper_coloring_on_plate(self, plate):
+        colors = greedy_multicolor(plate.k)
+        validate_groups(plate.k, colors)
+
+    def test_poisson_needs_two_colors(self):
+        prob = poisson_problem(8)
+        colors = greedy_multicolor(prob.k)
+        validate_groups(prob.k, colors)
+        assert colors.max() + 1 == 2
+
+    def test_natural_order_variant(self, plate):
+        colors = greedy_multicolor(plate.k, order="natural")
+        validate_groups(plate.k, colors)
+
+    def test_color_count_bounded_by_degree(self, plate):
+        colors = greedy_multicolor(plate.k)
+        max_degree = int(np.diff(plate.k.tocsr().indptr).max()) - 1
+        assert colors.max() + 1 <= max_degree + 1
+
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_random_spd_graphs(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = sp.random(n, n, density=0.15, random_state=rng, format="csr")
+        a = a + a.T + sp.identity(n) * n  # symmetric, positive diagonal
+        colors = greedy_multicolor(a.tocsr())
+        validate_groups(a.tocsr(), colors)
+
+
+class TestMulticolorOrdering:
+    def test_counts_and_slices(self, plate, plate_ordering):
+        counts = plate_ordering.counts
+        assert counts.sum() == 60
+        slices = plate_ordering.group_slices
+        assert slices[0].start == 0
+        assert slices[-1].stop == 60
+        for c, s in enumerate(slices):
+            assert s.stop - s.start == counts[c]
+
+    def test_permutation_roundtrip(self, plate_ordering):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=plate_ordering.n)
+        assert np.array_equal(
+            plate_ordering.unpermute_vector(plate_ordering.permute_vector(x)), x
+        )
+
+    def test_permuted_vector_is_grouped(self, plate, plate_ordering):
+        permuted_groups = plate_ordering.permute_vector(plate.group_of_unknown)
+        assert np.array_equal(permuted_groups, np.sort(plate.group_of_unknown))
+
+    def test_within_group_order_is_natural(self, plate_ordering):
+        # Stable sort: inside each group, natural indices stay increasing —
+        # the paper's bottom-to-top, left-to-right numbering within a color.
+        for s in plate_ordering.group_slices:
+            segment = plate_ordering.perm[s]
+            assert np.all(np.diff(segment) > 0)
+
+    def test_matrix_permutation_is_similarity(self, plate, plate_ordering):
+        pk = plate_ordering.permute_matrix(plate.k)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=plate.n)
+        left = plate_ordering.permute_vector(plate.k @ x)
+        right = pk @ plate_ordering.permute_vector(x)
+        assert left == pytest.approx(right)
+
+    def test_split_vector_views(self, plate_ordering):
+        x = np.zeros(plate_ordering.n)
+        parts = plate_ordering.split_vector(x)
+        parts[2][:] = 5.0
+        assert np.count_nonzero(x) == parts[2].size  # views, not copies
+
+    def test_default_labels(self):
+        ordering = MulticolorOrdering.from_groups(np.array([0, 1, 1, 0]))
+        assert ordering.labels == ("g0", "g1")
+
+    def test_group_of_position(self, plate_ordering):
+        slices = plate_ordering.group_slices
+        for c, s in enumerate(slices):
+            assert plate_ordering.group_of_position(s.start) == c
+
+    def test_rejects_negative_groups(self):
+        with pytest.raises(ValueError):
+            MulticolorOrdering.from_groups(np.array([0, -1, 1]))

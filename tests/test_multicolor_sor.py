@@ -1,0 +1,212 @@
+"""Tests for multicolor SOR sweeps and the m-step SSOR of Algorithm 2.
+
+The central correctness result: the Conrad–Wallach merged application
+(`MStepSSOR.apply`) must agree with the transparent Horner reference
+(`apply_reference`) and, as an operator, with the closed form
+``M_m⁻¹ = (Σ αᵢ Gⁱ) P⁻¹`` computed densely from the SSOR splitting.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import plate_problem, poisson_problem
+from repro.multicolor import (
+    BlockedMatrix,
+    MStepSSOR,
+    MulticolorOrdering,
+    multicolor_sor_solve,
+    sor_backward_sweep,
+    sor_forward_sweep,
+    ssor_iteration,
+)
+from repro.util import OperationCounter, is_symmetric
+
+
+def build_blocked(problem):
+    ordering = MulticolorOrdering.from_groups(
+        problem.group_of_unknown, problem.group_labels
+    )
+    return BlockedMatrix.from_matrix(problem.k, ordering)
+
+
+@pytest.fixture(scope="module")
+def plate_blocked():
+    return build_blocked(plate_problem(6))
+
+
+@pytest.fixture(scope="module")
+def poisson_blocked():
+    return build_blocked(poisson_problem(6))
+
+
+def dense_ssor_factors(blocked):
+    """Dense (D − L̃), D, (D − Ũ) of the block splitting, multicolor order."""
+    a = blocked.permuted.toarray()
+    d = np.diag(np.diag(a))
+    lower = -np.tril(a, -1)
+    upper = -np.triu(a, 1)
+    return d - lower, d, d - upper
+
+
+def dense_mstep_operator(blocked, coefficients):
+    """Closed-form M_m⁻¹ = (Σ αᵢ Gⁱ) P⁻¹ with P the SSOR(ω=1) splitting."""
+    dl, d, du = dense_ssor_factors(blocked)
+    p = dl @ np.linalg.solve(d, du)
+    p_inv = np.linalg.inv(p)
+    g = np.eye(blocked.n) - p_inv @ blocked.permuted.toarray()
+    out = np.zeros_like(p_inv)
+    g_power = np.eye(blocked.n)
+    for alpha in coefficients:
+        out += alpha * g_power
+        g_power = g_power @ g
+    return out @ p_inv
+
+
+class TestSweeps:
+    def test_forward_sweep_is_block_gauss_seidel(self, plate_blocked):
+        # One forward sweep from zero equals the lower-triangular solve
+        # (D − L̃)⁻¹ b in the multicolor ordering.
+        rng = np.random.default_rng(0)
+        b = rng.normal(size=plate_blocked.n)
+        x = np.zeros_like(b)
+        sor_forward_sweep(plate_blocked, x, b)
+        dl, _, _ = dense_ssor_factors(plate_blocked)
+        assert x == pytest.approx(np.linalg.solve(dl, b), rel=1e-12, abs=1e-12)
+
+    def test_backward_sweep_is_upper_solve(self, plate_blocked):
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=plate_blocked.n)
+        x = np.zeros_like(b)
+        sor_backward_sweep(plate_blocked, x, b)
+        _, _, du = dense_ssor_factors(plate_blocked)
+        assert x == pytest.approx(np.linalg.solve(du, b), rel=1e-12, abs=1e-12)
+
+    def test_ssor_iteration_matches_splitting_formula(self, plate_blocked):
+        # x_new = G x + P⁻¹ b for P = (D−L̃) D⁻¹ (D−Ũ).
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=plate_blocked.n)
+        x = rng.normal(size=plate_blocked.n)
+        expected_input = x.copy()
+        ssor_iteration(plate_blocked, x, b)
+        dl, d, du = dense_ssor_factors(plate_blocked)
+        p = dl @ np.linalg.solve(d, du)
+        g = np.eye(plate_blocked.n) - np.linalg.solve(p, plate_blocked.permuted.toarray())
+        expected = g @ expected_input + np.linalg.solve(p, b)
+        assert x == pytest.approx(expected, rel=1e-10, abs=1e-10)
+
+    def test_sweep_counter(self, plate_blocked):
+        counter = OperationCounter()
+        b = np.ones(plate_blocked.n)
+        x = np.zeros_like(b)
+        sor_forward_sweep(plate_blocked, x, b, counter=counter)
+        assert counter.extra["block_multiplies"] == 30
+        assert counter.extra["diag_solves"] == 6
+
+
+class TestSORSolver:
+    def test_solves_plate(self, plate_blocked):
+        b = np.ones(plate_blocked.n)
+        x, iters, converged = multicolor_sor_solve(
+            plate_blocked, b, omega=1.0, tol=1e-12, maxiter=20_000
+        )
+        assert converged
+        assert plate_blocked.matvec(x) == pytest.approx(b, abs=1e-8)
+
+    def test_omega_validation(self, plate_blocked):
+        with pytest.raises(ValueError):
+            multicolor_sor_solve(plate_blocked, np.ones(plate_blocked.n), omega=2.5)
+
+    def test_relaxation_changes_trajectory_not_fixpoint(self, poisson_blocked):
+        b = np.ones(poisson_blocked.n)
+        x1, _, c1 = multicolor_sor_solve(poisson_blocked, b, omega=1.0, tol=1e-12)
+        x2, _, c2 = multicolor_sor_solve(poisson_blocked, b, omega=1.4, tol=1e-12)
+        assert c1 and c2
+        assert x1 == pytest.approx(x2, abs=1e-7)
+
+
+class TestMStepSSOR:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5])
+    def test_merged_equals_reference(self, plate_blocked, m):
+        rng = np.random.default_rng(m)
+        coeffs = rng.uniform(0.5, 2.0, size=m) * np.where(
+            rng.random(m) < 0.3, -1.0, 1.0
+        )
+        applicator = MStepSSOR(plate_blocked, coeffs)
+        r = rng.normal(size=plate_blocked.n)
+        fast = applicator.apply(r)
+        slow = applicator.apply_reference(r)
+        assert fast == pytest.approx(slow, rel=1e-11, abs=1e-11)
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_matches_closed_form_operator(self, plate_blocked, m):
+        coeffs = np.arange(1.0, m + 1.0)  # arbitrary distinct coefficients
+        applicator = MStepSSOR(plate_blocked, coeffs)
+        dense = dense_mstep_operator(plate_blocked, coeffs)
+        rng = np.random.default_rng(m + 10)
+        r = rng.normal(size=plate_blocked.n)
+        assert applicator.apply(r) == pytest.approx(dense @ r, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_poisson_two_colors(self, poisson_blocked, m):
+        coeffs = np.ones(m)
+        applicator = MStepSSOR(poisson_blocked, coeffs)
+        rng = np.random.default_rng(m)
+        r = rng.normal(size=poisson_blocked.n)
+        fast = applicator.apply(r)
+        slow = applicator.apply_reference(r)
+        dense = dense_mstep_operator(poisson_blocked, coeffs)
+        assert fast == pytest.approx(slow, rel=1e-11, abs=1e-11)
+        assert fast == pytest.approx(dense @ r, rel=1e-9, abs=1e-9)
+
+    def test_preconditioner_is_symmetric_operator(self, plate_blocked):
+        applicator = MStepSSOR(plate_blocked, np.ones(3))
+        dense = applicator.as_dense_operator()
+        assert is_symmetric(dense, tol=1e-9)
+
+    def test_unparametrized_eigenvalues_in_unit_interval(self, poisson_blocked):
+        # Eigenvalues of M_m⁻¹K are 1 − (1 − μ)^m ∈ (0, 1] for the SSOR
+        # splitting with ω = 1 (μ = eig of P⁻¹K ∈ (0, 1]).
+        m = 3
+        applicator = MStepSSOR(poisson_blocked, np.ones(m))
+        dense = applicator.as_dense_operator() @ poisson_blocked.permuted.toarray()
+        eigs = np.linalg.eigvals(dense).real
+        assert eigs.min() > 0
+        assert eigs.max() <= 1.0 + 1e-10
+
+    def test_block_multiply_count_is_one_sor_sweep_per_step(self, plate_blocked):
+        # The Conrad–Wallach claim: each preconditioner step costs
+        # nc·(nc−1) = 30 block multiplies, not the naive 60.
+        for m in (1, 2, 5):
+            applicator = MStepSSOR(plate_blocked, np.ones(m))
+            applicator.apply(np.ones(plate_blocked.n))
+            assert applicator.counter.extra["block_multiplies"] == 30 * m
+            assert applicator.counter.precond_steps == m
+
+    def test_single_group_degenerates_to_scaled_jacobi(self):
+        # With one color the matrix must be diagonal and M⁻¹ r = α₀ D⁻¹ r.
+        d = sp.diags([2.0, 4.0, 5.0]).tocsr()
+        ordering = MulticolorOrdering.from_groups(np.zeros(3, dtype=np.int64))
+        blocked = BlockedMatrix.from_matrix(d, ordering)
+        applicator = MStepSSOR(blocked, np.array([3.0, 1.0]))
+        r = np.array([2.0, 4.0, 10.0])
+        assert applicator.apply(r) == pytest.approx(3.0 * r / np.array([2.0, 4.0, 5.0]))
+
+    def test_rejects_empty_coefficients(self, plate_blocked):
+        with pytest.raises(ValueError):
+            MStepSSOR(plate_blocked, np.array([]))
+
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_property_merged_equals_reference_poisson(self, m, seed):
+        prob = poisson_problem(5)
+        blocked = build_blocked(prob)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.uniform(-2.0, 2.0, size=m)
+        applicator = MStepSSOR(blocked, coeffs)
+        r = rng.normal(size=blocked.n)
+        assert applicator.apply(r) == pytest.approx(
+            applicator.apply_reference(r), rel=1e-10, abs=1e-10
+        )

@@ -1,0 +1,67 @@
+"""Public-API integrity: everything advertised must exist and import."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.multicolor",
+    "repro.fem",
+    "repro.machines",
+    "repro.analysis",
+    "repro.util",
+]
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} advertised but missing"
+
+    def test_version_present(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_quickstart_symbols(self):
+        # The README quickstart must work with top-level imports alone.
+        from repro import plate_problem, solve_mstep_ssor  # noqa: F401
+
+    def test_docstrings_on_public_callables(self):
+        # Every advertised callable/class carries a docstring.
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if callable(obj):
+                    assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+    def test_no_accidental_private_exports(self):
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                if name == "__version__":  # conventional dunder export
+                    continue
+                assert not name.startswith("_"), f"{package} exports private {name}"
+
+    def test_driver_module(self):
+        from repro import driver
+
+        for name in driver.__all__:
+            assert hasattr(driver, name)
+
+    def test_cli_module_has_main(self):
+        from repro import cli
+
+        assert callable(cli.main)
+
+    def test_machines_spmd_exports(self):
+        from repro.machines import spmd
+
+        for name in spmd.__all__:
+            assert hasattr(spmd, name)

@@ -1,0 +1,113 @@
+"""Unit and property tests for repro.util.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util import OperationCounter, as_dense, inf_norm, inner, permutation_matrix
+
+finite_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestInner:
+    def test_matches_numpy_dot(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=17), rng.normal(size=17)
+        assert inner(x, y) == pytest.approx(float(x @ y))
+
+    def test_returns_python_float(self):
+        assert isinstance(inner(np.ones(3), np.ones(3)), float)
+
+    @given(finite_vectors)
+    def test_inner_with_self_nonnegative(self, x):
+        assert inner(x, x) >= 0.0
+
+    @given(finite_vectors)
+    def test_symmetry(self, x):
+        y = x[::-1].copy()
+        assert inner(x, y) == pytest.approx(inner(y, x))
+
+
+class TestInfNorm:
+    def test_empty_vector(self):
+        assert inf_norm(np.array([])) == 0.0
+
+    def test_known_value(self):
+        assert inf_norm(np.array([1.0, -3.5, 2.0])) == 3.5
+
+    @given(finite_vectors)
+    def test_dominates_mean_abs(self, x):
+        # Relative slack: the mean of identical values can exceed the max by
+        # a rounding ulp.
+        assert inf_norm(x) >= np.mean(np.abs(x)) * (1.0 - 1e-12) - 1e-12
+
+    @given(finite_vectors, st.floats(-100, 100, allow_nan=False))
+    def test_absolute_homogeneity(self, x, a):
+        assert inf_norm(a * x) == pytest.approx(abs(a) * inf_norm(x), rel=1e-12, abs=1e-300)
+
+
+class TestPermutationMatrix:
+    def test_identity(self):
+        p = permutation_matrix(np.arange(4))
+        assert np.array_equal(as_dense(p), np.eye(4))
+
+    def test_gather_semantics(self):
+        perm = np.array([2, 0, 1])
+        p = permutation_matrix(perm)
+        x = np.array([10.0, 20.0, 30.0])
+        assert np.array_equal(p @ x, x[perm])
+
+    def test_orthogonality(self):
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(11)
+        p = permutation_matrix(perm)
+        assert np.array_equal(as_dense(p @ p.T), np.eye(11))
+
+    def test_similarity_reorders_matrix(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(5, 5))
+        perm = rng.permutation(5)
+        p = permutation_matrix(perm)
+        b = as_dense(p @ a @ p.T)
+        assert b == pytest.approx(a[np.ix_(perm, perm)])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_matrix(np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            permutation_matrix(np.array([0, 5, 1]))
+
+    @given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+    def test_roundtrip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n)
+        p = permutation_matrix(perm)
+        x = rng.normal(size=n)
+        assert p.T @ (p @ x) == pytest.approx(x)
+
+
+class TestOperationCounter:
+    def test_starts_at_zero(self):
+        c = OperationCounter()
+        assert c.as_dict() == {
+            "inner_products": 0,
+            "matvecs": 0,
+            "precond_applications": 0,
+            "precond_steps": 0,
+            "axpys": 0,
+        }
+
+    def test_merge_accumulates(self):
+        a = OperationCounter(inner_products=2, matvecs=1, extra={"sweeps": 3})
+        b = OperationCounter(inner_products=1, axpys=4, extra={"sweeps": 2, "solves": 1})
+        a.merge(b)
+        assert a.inner_products == 3
+        assert a.matvecs == 1
+        assert a.axpys == 4
+        assert a.extra == {"sweeps": 5, "solves": 1}

@@ -1,0 +1,97 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.util import check_spd, is_diagonal, is_spd, is_symmetric, require
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestIsSymmetric:
+    def test_dense_symmetric(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        assert is_symmetric(a)
+
+    def test_dense_asymmetric(self):
+        a = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert not is_symmetric(a)
+
+    def test_sparse_symmetric(self):
+        a = sp.diags([1.0, 2.0, 3.0]).tocsr()
+        assert is_symmetric(a)
+
+    def test_sparse_asymmetric(self):
+        a = sp.csr_matrix(np.array([[1.0, 5.0], [0.0, 1.0]]))
+        assert not is_symmetric(a)
+
+    def test_tolerance_is_relative(self):
+        # Asymmetry of 1e-4 against unit-scale entries: rejected at 1e-10,
+        # accepted at 1e-3.
+        a = np.array([[1.0, 1.0], [1.0 + 1e-4, 1.0]])
+        assert is_symmetric(a, tol=1e-10) is False
+        assert is_symmetric(a, tol=1e-3)
+        # Against 1e8-scale entries the same absolute asymmetry is within a
+        # 1e-10 *relative* tolerance.
+        b = np.array([[1e8, 1.0], [1.0 + 1e-4, 1e8]])
+        assert is_symmetric(b, tol=1e-10)
+
+
+class TestIsSpd:
+    def test_identity(self):
+        assert is_spd(np.eye(4))
+
+    def test_indefinite(self):
+        assert not is_spd(np.diag([1.0, -1.0]))
+
+    def test_asymmetric_rejected(self):
+        assert not is_spd(np.array([[2.0, 1.0], [0.0, 2.0]]))
+
+    def test_sparse_laplacian(self):
+        n = 20
+        t = sp.diags([-np.ones(n - 1), 2 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1])
+        assert is_spd(t.tocsr())
+
+    def test_large_path_uses_lanczos(self):
+        n = 500
+        t = sp.diags([-np.ones(n - 1), 2.5 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1])
+        assert is_spd(t.tocsr())
+
+    def test_check_spd_raises_for_semidefinite(self):
+        a = np.diag([1.0, 0.0])
+        with pytest.raises(ValueError, match="positive definite"):
+            check_spd(a, name="A")
+
+    def test_check_spd_raises_for_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            check_spd(np.array([[1.0, 2.0], [0.0, 1.0]]), name="A")
+
+
+class TestIsDiagonal:
+    def test_dense_diagonal(self):
+        assert is_diagonal(np.diag([1.0, 2.0]))
+
+    def test_dense_off_diagonal(self):
+        assert not is_diagonal(np.array([[1.0, 0.1], [0.0, 1.0]]))
+
+    def test_sparse_with_explicit_zero_offdiag(self):
+        a = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert is_diagonal(a)
+
+    def test_sparse_rectangular_blocks(self):
+        a = sp.csr_matrix((3, 3))
+        assert is_diagonal(a)
+
+    def test_tolerance(self):
+        a = np.eye(3)
+        a[0, 1] = 1e-14
+        assert not is_diagonal(a)
+        assert is_diagonal(a, tol=1e-12)

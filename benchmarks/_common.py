@@ -17,20 +17,14 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro import plate_problem
-from repro.driver import build_blocked_system, ssor_interval
+from repro.driver import (  # noqa: F401 - schedules re-exported for the benches
+    TABLE2_SCHEDULE,
+    TABLE3_SCHEDULE,
+    build_blocked_system,
+    ssor_interval,
+)
 
 OUT_DIR = Path(__file__).parent / "out"
-
-#: The m-schedule of Tables 2 and 3: (m, parametrized) in paper row order.
-TABLE2_SCHEDULE = [
-    (0, False), (1, False), (2, False), (2, True), (3, False), (3, True),
-    (4, True), (5, True), (6, True), (7, True), (8, True), (9, True),
-    (10, True),
-]
-TABLE3_SCHEDULE = [
-    (0, False), (1, False), (2, False), (2, True), (3, False), (3, True),
-    (4, False), (4, True), (5, True), (6, True),
-]
 
 
 def table2_meshes() -> list[int]:

@@ -1,0 +1,95 @@
+"""Kernel-backend perf suite (pytest-benchmark flavor of perf_report.py).
+
+Every test carries the ``perf`` marker, which tier-1 excludes by default
+(see pytest.ini); run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_suite.py -m perf
+
+The machine-readable trajectory artifact is produced by
+``python benchmarks/perf_report.py`` instead — this suite is for
+interactive comparison runs (``--benchmark-compare`` etc.).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import neumann_coefficients
+from repro.core.mstep import MStepPreconditioner
+from repro.core.splittings import SSORSplitting
+from repro.driver import TABLE2_SCHEDULE, solve_mstep_ssor, ssor_interval
+from repro.multicolor import MStepSSOR
+
+from _common import cached_blocked, cached_interval, cached_plate
+
+pytestmark = pytest.mark.perf
+
+APPLY_MESH = 41
+SWEEP_MESH = 20
+
+
+@pytest.fixture(params=["vectorized", "reference"])
+def backend(request):
+    return request.param
+
+
+def test_ssor_apply_p_inv(benchmark, backend):
+    blocked = cached_blocked(APPLY_MESH)
+    splitting = SSORSplitting(blocked.permuted, backend=backend)
+    r = np.random.default_rng(0).normal(size=blocked.n)
+    splitting.apply_p_inv(r)  # build the cached solvers outside the timing
+    out = benchmark(splitting.apply_p_inv, r)
+    assert out.shape == r.shape
+
+
+def test_mstep_apply(benchmark, backend):
+    blocked = cached_blocked(APPLY_MESH)
+    precond = MStepPreconditioner(
+        SSORSplitting(blocked.permuted, backend=backend), neumann_coefficients(4)
+    )
+    r = np.random.default_rng(1).normal(size=blocked.n)
+    precond.apply(r)
+    out = benchmark(precond.apply, r)
+    assert out.shape == r.shape
+
+
+def test_mstep_ssor_sweep(benchmark):
+    blocked = cached_blocked(APPLY_MESH)
+    applicator = MStepSSOR(blocked, neumann_coefficients(4))
+    r = np.random.default_rng(1).normal(size=blocked.n)
+    out = benchmark(applicator.apply, r)
+    assert out.shape == r.shape
+
+
+def test_full_pcg(benchmark, backend):
+    problem = cached_plate(SWEEP_MESH)
+    blocked = cached_blocked(SWEEP_MESH)
+
+    def run():
+        return solve_mstep_ssor(
+            problem, 3, blocked=blocked, eps=1e-6,
+            applicator="splitting", backend=backend,
+        )
+
+    solve = benchmark(run)
+    assert solve.result.converged
+
+
+def test_table2_schedule(benchmark, backend):
+    problem = cached_plate(SWEEP_MESH)
+    blocked = cached_blocked(SWEEP_MESH)
+    interval = cached_interval(SWEEP_MESH)
+
+    def run():
+        total = 0
+        for m, parametrized in TABLE2_SCHEDULE:
+            solve = solve_mstep_ssor(
+                problem, m, parametrized=parametrized, interval=interval,
+                blocked=blocked, eps=1e-6,
+                applicator="splitting", backend=backend,
+            )
+            assert solve.result.converged
+            total += solve.iterations
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=1)
+    assert total > 0

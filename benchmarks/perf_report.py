@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Machine-readable perf harness for the kernel backend layer.
+
+Times the solver stack's hot primitives on the plate problem —
+``apply_p_inv`` (the SSOR triangular application), the m-step
+preconditioner application (kernel path and Conrad–Wallach sweep), a full
+PCG solve, and the end-to-end Table-2 m-schedule sweep — for both kernel
+backends, and writes ``BENCH_kernels.json`` at the repo root.  That file
+is the perf-trajectory baseline: future PRs rerun this script and diff.
+
+Usage (no pytest required)::
+
+    python benchmarks/perf_report.py                 # default meshes 20,41
+    python benchmarks/perf_report.py --meshes 11,20 --repeats 3
+    python benchmarks/perf_report.py --out /tmp/bench.json
+
+The benchmark-fixture variant of the same measurements lives in
+``benchmarks/bench_perf_suite.py`` (pytest marker ``perf``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+import scipy  # noqa: E402
+
+from repro import plate_problem  # noqa: E402
+from repro.core.mstep import MStepPreconditioner  # noqa: E402
+from repro.core.polynomial import neumann_coefficients  # noqa: E402
+from repro.core.splittings import SSORSplitting  # noqa: E402
+from repro.driver import (  # noqa: E402
+    TABLE2_SCHEDULE,
+    build_blocked_system,
+    solve_mstep_ssor,
+    ssor_interval,
+)
+from repro.kernels import BACKENDS, REFERENCE, VECTORIZED  # noqa: E402
+from repro.multicolor import MStepSSOR  # noqa: E402
+
+#: Acceptance thresholds recorded alongside the measurements.
+TARGET_APPLY_P_INV_SPEEDUP = 5.0
+TARGET_TABLE2_SPEEDUP = 2.0
+
+M_APPLY = 4  # the m used for preconditioner-application timings
+M_PCG = 3  # the m used for full-solve timings
+
+
+def _time_call(fn, repeats: int, min_seconds: float = 0.02) -> float:
+    """Best-of-``repeats`` per-call seconds, inner-looped for short calls."""
+    fn()  # warm caches (factorizations, workspaces)
+    t0 = time.perf_counter()
+    fn()
+    once = max(time.perf_counter() - t0, 1e-9)
+    inner = max(1, int(min_seconds / once))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def bench_apply_p_inv(blocked, repeats: int) -> dict:
+    """SSOR ``P⁻¹r`` per backend: color-block sweeps vs spsolve_triangular."""
+    r = np.random.default_rng(0).normal(size=blocked.n)
+    out = {}
+    for backend in BACKENDS:
+        splitting = SSORSplitting(blocked.permuted, backend=backend)
+        out[f"{backend}_s"] = _time_call(lambda: splitting.apply_p_inv(r), repeats)
+    out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    return out
+
+
+def bench_mstep_apply(blocked, repeats: int) -> dict:
+    """m-step application: kernel Horner per backend + the merged sweep."""
+    coeffs = neumann_coefficients(M_APPLY)
+    r = np.random.default_rng(1).normal(size=blocked.n)
+    out = {}
+    for backend in BACKENDS:
+        precond = MStepPreconditioner(
+            SSORSplitting(blocked.permuted, backend=backend), coeffs
+        )
+        out[f"{backend}_s"] = _time_call(lambda: precond.apply(r), repeats)
+    sweep = MStepSSOR(blocked, coeffs)
+    out["sweep_s"] = _time_call(lambda: sweep.apply(r), repeats)
+    out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    return out
+
+
+def bench_pcg(problem, blocked, repeats: int, eps: float) -> dict:
+    """Full m-step PCG solve per backend (splitting applicator) + sweep."""
+    out = {}
+    for backend in BACKENDS:
+        def run(backend=backend):
+            solve = solve_mstep_ssor(
+                problem, M_PCG, blocked=blocked, eps=eps,
+                applicator="splitting", backend=backend,
+            )
+            assert solve.result.converged
+            return solve
+
+        out[f"{backend}_s"] = _time_call(run, repeats)
+
+    def run_sweep():
+        solve = solve_mstep_ssor(problem, M_PCG, blocked=blocked, eps=eps)
+        assert solve.result.converged
+
+    out["sweep_s"] = _time_call(run_sweep, repeats)
+    out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    return out
+
+
+def bench_table2_sweep(problem, blocked, repeats: int, eps: float) -> dict:
+    """The full Table-2 m-schedule, end to end, per backend."""
+    interval = ssor_interval(blocked)
+    iterations: dict[str, int] = {}
+
+    def run_schedule(backend: str) -> None:
+        for m, parametrized in TABLE2_SCHEDULE:
+            solve = solve_mstep_ssor(
+                problem, m, parametrized=parametrized, interval=interval,
+                blocked=blocked, eps=eps,
+                applicator="splitting", backend=backend,
+            )
+            assert solve.result.converged
+            iterations[solve.label] = solve.iterations
+
+    out = {}
+    for backend in BACKENDS:
+        out[f"{backend}_s"] = _time_call(
+            lambda backend=backend: run_schedule(backend), repeats
+        )
+    out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    out["iterations"] = iterations
+    out["cells"] = len(TABLE2_SCHEDULE)
+    return out
+
+
+def build_report(
+    meshes=(20, 41), repeats: int = 3, eps: float = 1e-6, table2_mesh: int | None = None
+) -> dict:
+    """Run every measurement and assemble the JSON-ready report dict."""
+    meshes = list(meshes)
+    if table2_mesh is None:
+        table2_mesh = meshes[0]
+    if table2_mesh not in meshes:
+        raise ValueError(
+            f"table2_mesh {table2_mesh} must be one of the benchmarked meshes {meshes}"
+        )
+    results: dict = {
+        "apply_p_inv": {},
+        "mstep_apply": {},
+        "pcg": {},
+        "table2_sweep": {},
+    }
+    for a in meshes:
+        problem = plate_problem(a)
+        blocked = build_blocked_system(problem)
+        key = f"a={a}"
+        results["apply_p_inv"][key] = bench_apply_p_inv(blocked, repeats)
+        results["mstep_apply"][key] = bench_mstep_apply(blocked, repeats)
+        results["pcg"][key] = bench_pcg(problem, blocked, repeats, eps)
+        if a == table2_mesh:
+            results["table2_sweep"][key] = bench_table2_sweep(
+                problem, blocked, repeats, eps
+            )
+
+    largest = f"a={max(meshes)}"
+    table2_key = f"a={table2_mesh}"
+    apply_speedup = results["apply_p_inv"][largest]["speedup"]
+    table2_speedup = results["table2_sweep"][table2_key]["speedup"]
+    return {
+        "bench": "kernels",
+        "created_unix": time.time(),
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+        },
+        "config": {
+            "meshes": meshes,
+            "repeats": repeats,
+            "eps": eps,
+            "m_apply": M_APPLY,
+            "m_pcg": M_PCG,
+            "table2_mesh": table2_mesh,
+        },
+        "results": results,
+        "targets": {
+            "apply_p_inv_speedup_min": TARGET_APPLY_P_INV_SPEEDUP,
+            "apply_p_inv_speedup": apply_speedup,
+            "table2_speedup_min": TARGET_TABLE2_SPEEDUP,
+            "table2_speedup": table2_speedup,
+            "met": bool(
+                apply_speedup >= TARGET_APPLY_P_INV_SPEEDUP
+                and table2_speedup >= TARGET_TABLE2_SPEEDUP
+            ),
+        },
+    }
+
+
+def render(report: dict) -> str:
+    lines = ["kernel perf report (seconds per call; best of repeats)", ""]
+    for section, by_mesh in report["results"].items():
+        for key, row in by_mesh.items():
+            cells = ", ".join(
+                f"{name}={value:.3e}" if name.endswith("_s")
+                else f"{name}={value:.2f}" if name == "speedup"
+                else ""
+                for name, value in row.items()
+                if name.endswith("_s") or name == "speedup"
+            ).strip(", ")
+            lines.append(f"  {section:<14s} {key:<6s} {cells}")
+    t = report["targets"]
+    lines += [
+        "",
+        f"  targets: apply_p_inv ≥{t['apply_p_inv_speedup_min']:.0f}× "
+        f"(measured {t['apply_p_inv_speedup']:.1f}×), "
+        f"table2 ≥{t['table2_speedup_min']:.0f}× "
+        f"(measured {t['table2_speedup']:.1f}×) — "
+        + ("MET" if t["met"] else "NOT MET"),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--meshes", default="20,41",
+        help="comma-separated plate sizes a (default 20,41)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--eps", type=float, default=1e-6)
+    parser.add_argument(
+        "--table2-mesh", type=int, default=None,
+        help="mesh for the end-to-end Table-2 sweep (default: smallest mesh)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_kernels.json"),
+        help="output JSON path (default BENCH_kernels.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        meshes = [int(tok) for tok in args.meshes.split(",") if tok.strip()]
+    except ValueError:
+        parser.error(f"--meshes must be comma-separated integers, got {args.meshes!r}")
+    if not meshes:
+        parser.error("--meshes needs at least one plate size")
+    if args.table2_mesh is not None and args.table2_mesh not in meshes:
+        parser.error(
+            f"--table2-mesh {args.table2_mesh} must be one of --meshes {meshes}"
+        )
+
+    report = build_report(
+        meshes=meshes, repeats=args.repeats, eps=args.eps,
+        table2_mesh=args.table2_mesh,
+    )
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(render(report))
+    print(f"\n[written to {out_path}]")
+    return 0 if report["targets"]["met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,9 @@ Package map
 -----------
 ``repro.core``        Algorithm 1 (PCG), splittings, the m-step
                       preconditioner, polynomial parametrization, spectra.
+``repro.kernels``     The kernel backend layer: cached color-block
+                      triangular sweeps, fused in-place updates, workspace
+                      pools (``"vectorized"``/``"reference"`` dispatch).
 ``repro.multicolor``  Multicolor orderings, the block system (3.1), and the
                       Conrad–Wallach m-step SSOR (Algorithm 2).
 ``repro.fem``         The plane-stress plate substrate (Figures 1–2).

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.splittings import Splitting
+from repro.kernels import WorkspacePool, matvec_into
 from repro.util import OperationCounter, require
 
 __all__ = ["MStepPreconditioner", "IdentityPreconditioner"]
@@ -76,36 +77,50 @@ class MStepPreconditioner:
         self.splitting = splitting
         self.coefficients = coefficients
         self.counter = OperationCounter()
+        self._workspace = WorkspacePool()
 
     @property
     def m(self) -> int:
         return int(self.coefficients.size)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
-        """``M_m⁻¹ r`` via the Horner recurrence."""
+        """``M_m⁻¹ r`` via the Horner recurrence.
+
+        Accepts a vector ``(n,)`` or a block of right-hand sides ``(n, k)``
+        (applied column-wise in one batched pass).  The steady state runs
+        entirely out of preallocated workspace buffers; the returned array
+        is one of them and stays valid until the next ``apply`` call —
+        copy it if it must outlive that.
+        """
         r = np.asarray(r, dtype=float)
-        q = self.splitting.apply_p_inv(r)  # shared P⁻¹ r
+        ncols = 1 if r.ndim == 1 else int(r.shape[1])
+        ws = self._workspace
+        q = self.splitting.apply_p_inv(r, out=ws.get("q", r.shape))
         solves = 1
         matvecs = 0
-        rt = self.coefficients[self.m - 1] * q
+        rt = ws.get("rt", r.shape)
+        np.multiply(q, self.coefficients[self.m - 1], out=rt)
+        kv = ws.get("kv", r.shape)
+        pv = ws.get("pv", r.shape)
         for s in range(2, self.m + 1):
-            rt = rt - self.splitting.apply_p_inv(self.splitting.k @ rt)
-            rt += self.coefficients[self.m - s] * q
+            matvec_into(self.splitting.k, rt, kv)
+            gz = self.splitting.apply_p_inv(kv, out=pv)
+            rt -= gz
+            np.multiply(q, self.coefficients[self.m - s], out=kv)
+            rt += kv
             solves += 1
             matvecs += 1
-        self.counter.precond_applications += 1
-        self.counter.precond_steps += self.m
-        self.counter.extra["p_solves"] = self.counter.extra.get("p_solves", 0) + solves
+        self.counter.precond_applications += ncols
+        self.counter.precond_steps += self.m * ncols
+        self.counter.extra["p_solves"] = (
+            self.counter.extra.get("p_solves", 0) + solves * ncols
+        )
         self.counter.extra["inner_matvecs"] = (
-            self.counter.extra.get("inner_matvecs", 0) + matvecs
+            self.counter.extra.get("inner_matvecs", 0) + matvecs * ncols
         )
         return rt
 
     def as_dense_operator(self) -> np.ndarray:
-        """Materialize ``M_m⁻¹`` column by column (analysis/tests only)."""
+        """Materialize ``M_m⁻¹`` in one batched application (analysis/tests)."""
         n = self.splitting.n
-        eye = np.eye(n)
-        out = np.empty((n, n))
-        for col in range(n):
-            out[:, col] = self.apply(eye[:, col])
-        return out
+        return self.apply(np.eye(n)).copy()

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.convergence import DeltaInfNorm, StoppingRule
 from repro.core.mstep import IdentityPreconditioner
+from repro.kernels import matvec_into, supports_matvec_into, xpay_into
 from repro.util import OperationCounter, inf_norm, inner, require
 
 __all__ = ["PCGResult", "pcg", "cg"]
@@ -122,13 +123,21 @@ def pcg(
     precond_before = m.counter.as_dict() if hasattr(m, "counter") else None
 
     u = np.zeros(n) if u0 is None else np.array(u0, dtype=float)
-    r = f - k @ u
+    r = np.asarray(f - k @ u, dtype=float)
     counter.matvecs += 1
     rt = m.apply(r)
-    p = rt.copy()
+    p = np.array(rt, dtype=float)
     rho = inner(rt, r)
     counter.inner_products += 1
     f_norm = float(np.linalg.norm(f))
+
+    # Steady-state workspaces: K·p and the α·p / α·Kp products are written
+    # into preallocated buffers so the loop allocates nothing per iteration
+    # (see repro.kernels.ops; the arithmetic is bit-identical to the
+    # out-of-place spelling).
+    kp = np.empty(n)
+    step = np.empty(n)
+    fast_matvec = supports_matvec_into(k, p, kp)
 
     delta_history: list[float] = []
     residual_history: list[float] = []
@@ -138,7 +147,10 @@ def pcg(
     converged = False
     iterations = 0
     for iteration in range(1, maxiter + 1):
-        kp = k @ p
+        if fast_matvec:
+            matvec_into(k, p, kp)
+        else:
+            kp = np.asarray(k @ p, dtype=float)
         counter.matvecs += 1
         denom = inner(p, kp)
         counter.inner_products += 1
@@ -149,7 +161,7 @@ def pcg(
             break
         alpha = rho / denom
 
-        step = alpha * p
+        np.multiply(p, alpha, out=step)  # step = α·p
         u += step
         counter.axpys += 1
         delta_norm = inf_norm(step)
@@ -162,7 +174,8 @@ def pcg(
             converged = True
             break  # steps (4)–(7) skipped, as in Algorithm 1
 
-        r -= alpha * kp
+        np.multiply(kp, alpha, out=step)  # step reused as scratch: α·Kp
+        r -= step
         counter.axpys += 1
         if track_residual:
             residual_history.append(float(np.linalg.norm(r)))
@@ -175,7 +188,7 @@ def pcg(
         counter.inner_products += 1
         beta = rho_new / rho
         rho = rho_new
-        p = rt + beta * p
+        xpay_into(rt, beta, p)  # p = r̃ + β·p
         counter.axpys += 1
 
     if precond_before is not None:

@@ -53,13 +53,21 @@ def full_splitting_spectrum(splitting: Splitting) -> np.ndarray:
 
 
 def _symmetric_operator(splitting: Splitting) -> spla.LinearOperator:
-    """``S = W⁻¹ K W⁻ᵀ`` as a LinearOperator."""
+    """``S = W⁻¹ K W⁻ᵀ`` as a LinearOperator.
+
+    The splitting applications are batched (``(n, k)`` blocks of vectors go
+    through one color-block sweep each), so the operator advertises
+    ``matmat`` too — block methods probe it with matmuls instead of ``k``
+    sequential applies.
+    """
     k = splitting.k
 
-    def matvec(x):
+    def apply(x):
         return splitting.apply_w_inv(k @ splitting.apply_wt_inv(x))
 
-    return spla.LinearOperator((splitting.n, splitting.n), matvec=matvec)
+    return spla.LinearOperator(
+        (splitting.n, splitting.n), matvec=apply, matmat=apply
+    )
 
 
 def _inverse_operator(splitting: Splitting) -> spla.LinearOperator:
@@ -67,10 +75,12 @@ def _inverse_operator(splitting: Splitting) -> spla.LinearOperator:
     lu = spla.splu(splitting.k.tocsc())
     w = _WFactor(splitting)
 
-    def matvec(x):
+    def apply(x):
         return w.wt(lu.solve(w.w(x)))
 
-    return spla.LinearOperator((splitting.n, splitting.n), matvec=matvec)
+    return spla.LinearOperator(
+        (splitting.n, splitting.n), matvec=apply, matmat=apply
+    )
 
 
 class _WFactor:

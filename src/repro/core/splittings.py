@@ -37,8 +37,8 @@ import abc
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.sparse.linalg import spsolve_triangular
 
+from repro.kernels import make_triangular_solver, resolve_backend, row_scale
 from repro.util import require
 
 __all__ = [
@@ -51,19 +51,26 @@ __all__ = [
 
 
 class Splitting(abc.ABC):
-    """Abstract splitting ``K = P − Q`` of an SPD matrix."""
+    """Abstract splitting ``K = P − Q`` of an SPD matrix.
 
-    def __init__(self, k: sp.spmatrix):
+    ``backend`` selects the kernel implementation of the hot paths
+    (``"vectorized"`` default, ``"reference"`` for the paper-faithful
+    row-sequential pin); see :mod:`repro.kernels`.  All applications accept
+    a single vector ``(n,)`` or a block of right-hand sides ``(n, k)``.
+    """
+
+    def __init__(self, k: sp.spmatrix, backend: str | None = None):
         require(k.shape[0] == k.shape[1], "matrix must be square")
         self.k = k.tocsr()
         self.n = k.shape[0]
+        self.backend = resolve_backend(backend)
 
     #: Whether P is symmetric (required for a PCG preconditioner).
     symmetric: bool = True
 
     @abc.abstractmethod
-    def apply_p_inv(self, r: np.ndarray) -> np.ndarray:
-        """``P⁻¹ r``."""
+    def apply_p_inv(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``P⁻¹ r`` (optionally written into ``out``)."""
 
     def apply_g(self, x: np.ndarray) -> np.ndarray:
         """``G x = x − P⁻¹ (K x)``."""
@@ -90,24 +97,31 @@ class Splitting(abc.ABC):
 class JacobiSplitting(Splitting):
     """``P = D = diag(K)``; ``G = I − D⁻¹K`` (point Jacobi iteration)."""
 
-    def __init__(self, k: sp.spmatrix):
-        super().__init__(k)
+    def __init__(self, k: sp.spmatrix, backend: str | None = None):
+        super().__init__(k, backend=backend)
         d = self.k.diagonal().copy()
         require(bool(np.all(d > 0)), "Jacobi splitting needs a positive diagonal")
         self.d = d
         self._sqrt_d = np.sqrt(d)
 
-    def apply_p_inv(self, r: np.ndarray) -> np.ndarray:
-        return r / self.d
+    def apply_p_inv(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        r = np.asarray(r, dtype=float)
+        scale = self.d if r.ndim == 1 else self.d[:, None]
+        if out is not None and out.shape == r.shape:
+            np.divide(r, scale, out=out)
+            return out
+        return r / scale
 
     def p_matrix(self) -> sp.spmatrix:
         return sp.diags(self.d).tocsr()
 
     def apply_w_inv(self, x: np.ndarray) -> np.ndarray:
-        return x / self._sqrt_d
+        x = np.asarray(x, dtype=float)
+        return x / (self._sqrt_d if x.ndim == 1 else self._sqrt_d[:, None])
 
     def apply_wt_inv(self, x: np.ndarray) -> np.ndarray:
-        return x / self._sqrt_d
+        x = np.asarray(x, dtype=float)
+        return x / (self._sqrt_d if x.ndim == 1 else self._sqrt_d[:, None])
 
 
 class RichardsonSplitting(Splitting):
@@ -118,15 +132,19 @@ class RichardsonSplitting(Splitting):
     ``K`` itself.
     """
 
-    def __init__(self, k: sp.spmatrix, c: float | None = None):
-        super().__init__(k)
+    def __init__(self, k: sp.spmatrix, c: float | None = None, backend: str | None = None):
+        super().__init__(k, backend=backend)
         if c is None:
             # Gershgorin: λ_max ≤ max_i Σ_j |K_ij|.
             c = float(np.max(np.abs(self.k).sum(axis=1)))
         require(c > 0, "Richardson constant must be positive")
         self.c = float(c)
 
-    def apply_p_inv(self, r: np.ndarray) -> np.ndarray:
+    def apply_p_inv(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        r = np.asarray(r, dtype=float)
+        if out is not None and out.shape == r.shape:
+            np.divide(r, self.c, out=out)
+            return out
         return r / self.c
 
     def p_matrix(self) -> sp.spmatrix:
@@ -155,15 +173,24 @@ class SORSplitting(Splitting):
 
     symmetric = False
 
-    def __init__(self, k: sp.spmatrix, omega: float = 1.0):
-        super().__init__(k)
+    def __init__(self, k: sp.spmatrix, omega: float = 1.0, backend: str | None = None):
+        super().__init__(k, backend=backend)
         require(0.0 < omega < 2.0, "SOR requires 0 < ω < 2")
         self.omega = float(omega)
         self._parts = _TriangularParts(self.k)
         self._p = (sp.diags(self._parts.d / self.omega) - self._parts.lower).tocsr()
+        self._lower_solver = None
 
-    def apply_p_inv(self, r: np.ndarray) -> np.ndarray:
-        return spsolve_triangular(self._p, np.asarray(r, dtype=float), lower=True)
+    def _solver(self):
+        """Cached triangular kernel for ``P`` (built on first use)."""
+        if self._lower_solver is None:
+            self._lower_solver = make_triangular_solver(
+                self._p, lower=True, backend=self.backend
+            )
+        return self._lower_solver
+
+    def apply_p_inv(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return self._solver().solve(np.asarray(r, dtype=float), out=out)
 
     def p_matrix(self) -> sp.spmatrix:
         return self._p
@@ -179,8 +206,8 @@ class SSORSplitting(Splitting):
     Adams 1983), giving ``P = (D − L) D⁻¹ (D − U)``.
     """
 
-    def __init__(self, k: sp.spmatrix, omega: float = 1.0):
-        super().__init__(k)
+    def __init__(self, k: sp.spmatrix, omega: float = 1.0, backend: str | None = None):
+        super().__init__(k, backend=backend)
         require(0.0 < omega < 2.0, "SSOR requires 0 < ω < 2")
         self.omega = float(omega)
         parts = _TriangularParts(self.k)
@@ -189,12 +216,31 @@ class SSORSplitting(Splitting):
         self._dl = (sp.diags(parts.d) - self.omega * parts.lower).tocsr()
         self._du = (sp.diags(parts.d) - self.omega * parts.upper).tocsr()
         self._sqrt_d = np.sqrt(parts.d)
+        self._w_scale = self._sqrt_d * np.sqrt(self._scale)
+        self._solvers = None
 
-    def apply_p_inv(self, r: np.ndarray) -> np.ndarray:
+    def _triangular_solvers(self):
+        """Cached kernels for ``(D−ωL)⁻¹`` and ``(D−ωU)⁻¹`` (built once).
+
+        Under a multicolor ordering both factors decompose into per-color
+        CSR sub-blocks with diagonal diagonal-blocks, so each solve is
+        ``nc`` dense vector updates (see :mod:`repro.kernels.triangular`);
+        otherwise a cached factorization (vectorized backend) or the
+        row-sequential reference solver is used.
+        """
+        if self._solvers is None:
+            self._solvers = (
+                make_triangular_solver(self._dl, lower=True, backend=self.backend),
+                make_triangular_solver(self._du, lower=False, backend=self.backend),
+            )
+        return self._solvers
+
+    def apply_p_inv(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``P⁻¹ r = ω(2−ω) (D−ωU)⁻¹ D (D−ωL)⁻¹ r`` (two sweeps)."""
-        z = spsolve_triangular(self._dl, np.asarray(r, dtype=float), lower=True)
-        z *= self.d
-        z = spsolve_triangular(self._du, z, lower=False)
+        lower, upper = self._triangular_solvers()
+        z = lower.solve(np.asarray(r, dtype=float))
+        row_scale(z, self.d, out=z)
+        z = upper.solve(z, out=out)
         z *= self._scale
         return z
 
@@ -204,9 +250,12 @@ class SSORSplitting(Splitting):
 
     # P = W Wᵀ with W = (D − ωL) D^{−1/2} / sqrt(ω(2−ω)).
     def apply_w_inv(self, x: np.ndarray) -> np.ndarray:
-        z = spsolve_triangular(self._dl, np.asarray(x, dtype=float), lower=True)
-        return z * self._sqrt_d * np.sqrt(self._scale)
+        lower, _ = self._triangular_solvers()
+        z = lower.solve(np.asarray(x, dtype=float))
+        row_scale(z, self._w_scale, out=z)
+        return z
 
     def apply_wt_inv(self, x: np.ndarray) -> np.ndarray:
-        z = np.asarray(x, dtype=float) * self._sqrt_d * np.sqrt(self._scale)
-        return spsolve_triangular(self._du, z, lower=False)
+        _, upper = self._triangular_solvers()
+        z = row_scale(np.asarray(x, dtype=float), self._w_scale)
+        return upper.solve(z)

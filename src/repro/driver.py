@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.convergence import StoppingRule
+from repro.core.mstep import MStepPreconditioner
 from repro.core.pcg import PCGResult, pcg
 from repro.core.polynomial import (
     least_squares_coefficients,
@@ -29,11 +30,26 @@ from repro.multicolor.sor import MStepSSOR
 from repro.util import require
 
 __all__ = [
+    "TABLE2_SCHEDULE",
+    "TABLE3_SCHEDULE",
     "MStepSolve",
     "build_blocked_system",
     "mstep_coefficients",
     "ssor_interval",
     "solve_mstep_ssor",
+]
+
+#: The m-schedule of Tables 2 and 3: ``(m, parametrized)`` in paper row
+#: order.  Canonical here so the benchmarks, the perf harness and the
+#: backend-equivalence suite sweep exactly the same cells.
+TABLE2_SCHEDULE = [
+    (0, False), (1, False), (2, False), (2, True), (3, False), (3, True),
+    (4, True), (5, True), (6, True), (7, True), (8, True), (9, True),
+    (10, True),
+]
+TABLE3_SCHEDULE = [
+    (0, False), (1, False), (2, False), (2, True), (3, False), (3, True),
+    (4, False), (4, True), (5, True), (6, True),
 ]
 
 
@@ -117,14 +133,26 @@ def solve_mstep_ssor(
     blocked: BlockedMatrix | None = None,
     maxiter: int | None = None,
     track_residual: bool = False,
+    applicator: str = "sweep",
+    backend: str | None = None,
 ) -> MStepSolve:
     """Solve a model problem with the m-step multicolor SSOR PCG method.
 
     ``m = 0`` runs unpreconditioned CG (the paper's first table row).  For
     parametrized runs the eigenvalue interval is measured from the operator
     unless supplied (benchmarks compute it once per mesh and pass it in).
+
+    ``applicator`` selects the preconditioner realization: ``"sweep"``
+    (default) is the Conrad–Wallach merged multicolor sweep of Algorithm 2;
+    ``"splitting"`` routes through :class:`MStepPreconditioner` over the
+    SSOR splitting, whose triangular solves dispatch on the kernel
+    ``backend`` (``"vectorized"`` color-block sweeps or the ``"reference"``
+    row-sequential pin — see :mod:`repro.kernels`).  All three paths apply
+    the same operator; the test-suite holds them to ≤1e−12 of each other.
     """
     require(m >= 0, "m must be non-negative")
+    require(applicator in ("sweep", "splitting"),
+            "applicator must be 'sweep' or 'splitting'")
     blocked = blocked if blocked is not None else build_blocked_system(problem)
     ordering = blocked.ordering
     f_mc = ordering.permute_vector(np.asarray(problem.f, dtype=float))
@@ -135,7 +163,12 @@ def solve_mstep_ssor(
         if parametrized and interval is None:
             interval = ssor_interval(blocked)
         coefficients = mstep_coefficients(m, parametrized, interval, criterion, weight)
-        preconditioner = MStepSSOR(blocked, coefficients)
+        if applicator == "sweep":
+            preconditioner = MStepSSOR(blocked, coefficients)
+        else:
+            preconditioner = MStepPreconditioner(
+                SSORSplitting(blocked.permuted, backend=backend), coefficients
+            )
 
     result = pcg(
         blocked.permuted,

@@ -1,0 +1,60 @@
+"""The kernel backend layer — every solver's hot primitives live here.
+
+The paper's vectorization argument, realized in numpy: under a multicolor
+ordering the SSOR triangular solves decompose into a handful of dense
+color-block operations (:mod:`repro.kernels.triangular`), the PCG loop is
+three fused in-place updates (:mod:`repro.kernels.ops`), and the steady
+state runs out of preallocated workspaces
+(:mod:`repro.kernels.workspace`).
+
+Every consumer dispatches on a backend name
+(:mod:`repro.kernels.backend`): ``"vectorized"`` is the default fast
+path, ``"reference"`` the paper-faithful row-sequential formulation that
+the equivalence test-suite pins the fast path against.
+"""
+
+from repro.kernels.backend import (
+    BACKENDS,
+    REFERENCE,
+    VECTORIZED,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.kernels.ops import (
+    axpy,
+    matvec_into,
+    row_scale,
+    supports_matvec_into,
+    xpay_into,
+)
+from repro.kernels.triangular import (
+    ColorBlockTriangularSolver,
+    FactorizedTriangularSolver,
+    ReferenceTriangularSolver,
+    detect_color_slices,
+    make_triangular_solver,
+)
+from repro.kernels.workspace import WorkspacePool
+
+__all__ = [
+    "BACKENDS",
+    "REFERENCE",
+    "VECTORIZED",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+    "axpy",
+    "matvec_into",
+    "row_scale",
+    "supports_matvec_into",
+    "xpay_into",
+    "ColorBlockTriangularSolver",
+    "FactorizedTriangularSolver",
+    "ReferenceTriangularSolver",
+    "detect_color_slices",
+    "make_triangular_solver",
+    "WorkspacePool",
+]

@@ -1,0 +1,71 @@
+"""Kernel-backend selection.
+
+Every hot primitive in the solver stack dispatches through a *backend*:
+
+* ``"vectorized"`` (default) — the cached color-block sweeps, factorized
+  triangular solves and fused in-place updates of :mod:`repro.kernels`;
+  this is the numpy realization of the paper's claim that under a
+  multicolor ordering the SSOR solves are a handful of dense vector
+  operations.
+* ``"reference"`` — the paper-faithful formulation (row-sequential
+  ``spsolve_triangular``, out-of-place updates).  Slow, transparent, and
+  the pin for the equivalence test-suite: every fast path must agree with
+  it to roundoff.
+
+The default is process-global; override it per object (every consumer
+takes a ``backend=`` argument) or temporarily with :func:`use_backend`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = [
+    "VECTORIZED",
+    "REFERENCE",
+    "BACKENDS",
+    "default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "use_backend",
+]
+
+VECTORIZED = "vectorized"
+REFERENCE = "reference"
+BACKENDS = (VECTORIZED, REFERENCE)
+
+_default = VECTORIZED
+
+
+def default_backend() -> str:
+    """The process-wide default backend name."""
+    return _default
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (``"vectorized"``/``"reference"``)."""
+    global _default
+    _default = resolve_backend(name)
+
+
+def resolve_backend(name: str | None) -> str:
+    """Validate ``name``; ``None`` means the current default."""
+    if name is None:
+        return _default
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch the default backend (tests, A/B timing)."""
+    global _default
+    previous = _default
+    _default = resolve_backend(name)
+    try:
+        yield _default
+    finally:
+        _default = previous

@@ -1,0 +1,92 @@
+"""Fused, allocation-free vector primitives.
+
+The outer PCG iteration and the Horner recurrence of the m-step
+preconditioner are built from three updates — ``y ← y + α·x`` (axpy),
+``y ← x + β·y`` (xpay) and ``out ← K·x`` — which naive numpy spells as
+``y += alpha * x`` etc., allocating a temporary per call.  These helpers
+perform the same arithmetic through ``np.multiply(..., out=)`` so the
+steady-state iteration touches only preallocated buffers.
+
+All results are bit-identical to the naive spellings: they execute the
+same elementary operations in the same order (IEEE addition is
+commutative, so ``β·y + x`` equals ``x + β·y`` bitwise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+try:  # scipy's compiled CSR kernels; absent only on exotic builds.
+    from scipy.sparse import _sparsetools as _csr_tools
+
+    _csr_matvec = _csr_tools.csr_matvec
+except (ImportError, AttributeError):  # pragma: no cover - fallback guard
+    _csr_matvec = None
+
+__all__ = [
+    "axpy",
+    "xpay_into",
+    "row_scale",
+    "supports_matvec_into",
+    "matvec_into",
+]
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y + α·x`` with a single temporary (the result itself)."""
+    out = np.multiply(x, alpha)
+    out += y
+    return out
+
+
+def xpay_into(x: np.ndarray, beta: float, y: np.ndarray) -> np.ndarray:
+    """``y ← x + β·y`` fully in place (the PCG direction update)."""
+    np.multiply(y, beta, out=y)
+    y += x
+    return y
+
+
+def row_scale(x: np.ndarray, v: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Scale the rows of ``x`` by the vector ``v``; works on (n,) and (n, k)."""
+    scale = v if x.ndim == 1 else v[:, None]
+    if out is None:
+        return x * scale
+    np.multiply(x, scale, out=out)
+    return out
+
+
+def supports_matvec_into(a, x: np.ndarray, out: np.ndarray) -> bool:
+    """Whether :func:`matvec_into` has a zero-allocation path for ``a @ x``."""
+    if isinstance(a, np.ndarray):
+        return True
+    return (
+        _csr_matvec is not None
+        and sp.issparse(a)
+        and a.format == "csr"
+        and a.dtype == np.float64
+        and x.ndim == 1
+        and out.ndim == 1
+        and x.dtype == np.float64
+        and out.dtype == np.float64
+        and x.flags.c_contiguous
+        and out.flags.c_contiguous
+    )
+
+
+def matvec_into(a, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out ← a @ x`` without allocating the result when possible.
+
+    CSR matrices go through scipy's compiled ``csr_matvec`` (which
+    accumulates, hence the zero-fill); dense operators through
+    ``np.matmul(..., out=)``; anything else falls back to ``a @ x``.
+    """
+    if isinstance(a, np.ndarray):
+        np.matmul(a, x, out=out)
+        return out
+    if supports_matvec_into(a, x, out):
+        out[:] = 0.0
+        _csr_matvec(a.shape[0], a.shape[1], a.indptr, a.indices, a.data, x, out)
+        return out
+    out[:] = a @ x
+    return out

@@ -1,0 +1,43 @@
+"""Per-object workspace pools.
+
+An m-step PCG solve applies the preconditioner thousands of times with
+identically shaped vectors; a :class:`WorkspacePool` hands each call the
+same named buffers so the steady state allocates nothing.  Buffers are
+reallocated transparently when the requested shape changes (e.g. a
+batched ``(n, k)`` application after vector ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WorkspacePool"]
+
+
+class WorkspacePool:
+    """Named, shape-checked scratch buffers (not thread-safe, like numpy)."""
+
+    def __init__(self):
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """A buffer named ``name`` of exactly ``shape`` (contents arbitrary)."""
+        shape = (shape,) if np.isscalar(shape) else tuple(shape)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def zeros(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Like :meth:`get` but zero-filled on every call."""
+        buf = self.get(name, shape, dtype)
+        buf.fill(0.0)
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import ops as kernel_ops
 from repro.machines.diagonals import DiagonalStorage
 from repro.machines.timing import VectorTimingModel
 
@@ -80,9 +81,13 @@ class VectorMachine:
         return alpha * a
 
     def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """``y + α·x`` — the linked-triad the CYBER pipes in one pass."""
+        """``y + α·x`` — the linked-triad the CYBER pipes in one pass.
+
+        Executed through the fused kernel (one temporary instead of two),
+        mirroring in numpy what the linked triad is in hardware.
+        """
         self._charge_vec("axpy", x.shape[0])
-        return y + alpha * x
+        return kernel_ops.axpy(alpha, x, y)
 
     def copy(self, a: np.ndarray) -> np.ndarray:
         self._charge_vec("copy", a.shape[0])

@@ -107,6 +107,39 @@ class BlockedMatrix:
         """Number of structurally nonzero off-diagonal blocks."""
         return sum(len(row) for row in self.blocks.values())
 
+    # ---------------------------------------------------- cached sweep tables
+    # The SOR/SSOR sweeps walk fixed subsets of each block row thousands of
+    # times per solve; these tables are computed once so the inner loops do
+    # no dict lookups or per-sweep counting.
+
+    @cached_property
+    def lower_block_list(self) -> tuple[tuple[tuple[int, sp.csr_matrix], ...], ...]:
+        """``lower_block_list[c]`` = the ``(j, B_cj)`` pairs with ``j < c``."""
+        return tuple(
+            tuple((j, self.blocks[c][j]) for j in range(c) if j in self.blocks[c])
+            for c in range(self.n_groups)
+        )
+
+    @cached_property
+    def upper_block_list(self) -> tuple[tuple[tuple[int, sp.csr_matrix], ...], ...]:
+        """``upper_block_list[c]`` = the ``(j, B_cj)`` pairs with ``j > c``."""
+        return tuple(
+            tuple(
+                (j, self.blocks[c][j])
+                for j in range(c + 1, self.n_groups)
+                if j in self.blocks[c]
+            )
+            for c in range(self.n_groups)
+        )
+
+    @cached_property
+    def offdiag_block_list(self) -> tuple[tuple[tuple[int, sp.csr_matrix], ...], ...]:
+        """``offdiag_block_list[c]`` = all ``(j, B_cj)`` pairs, ``j ≠ c``."""
+        return tuple(
+            self.lower_block_list[c] + self.upper_block_list[c]
+            for c in range(self.n_groups)
+        )
+
     # ------------------------------------------------------------- operations
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """``K x`` in multicolor ordering (uses the full reordered CSR)."""

@@ -57,6 +57,26 @@ def _group_views(blocked: BlockedMatrix, x: np.ndarray) -> list[np.ndarray]:
     return [x[s] for s in blocked.group_slices]
 
 
+def _block_sum(
+    pairs, x_groups: list[np.ndarray], n: int, negate: bool = False
+) -> np.ndarray:
+    """``±Σ B_cj x_j`` over a cached ``(j, block)`` list (length-``n`` rows).
+
+    The shared accumulation primitive of every sweep; seeding the
+    accumulator with the first product (instead of zeros) saves one
+    vector pass per call in the hot loops.
+    """
+    if not pairs:
+        return np.zeros(n)
+    j0, b0 = pairs[0]
+    acc = b0 @ x_groups[j0]
+    for j, block in pairs[1:]:
+        acc += block @ x_groups[j]
+    if negate:
+        np.negative(acc, out=acc)
+    return acc
+
+
 def sor_forward_sweep(
     blocked: BlockedMatrix,
     x: np.ndarray,
@@ -73,8 +93,9 @@ def sor_forward_sweep(
     xg = _group_views(blocked, x)
     bg = _group_views(blocked, b)
     nc = blocked.n_groups
+    offdiag = blocked.offdiag_block_list
     for c in range(nc):
-        acc = blocked.block_row_sum(c, xg, [j for j in range(nc) if j != c])
+        acc = _block_sum(offdiag[c], xg, blocked.diagonals[c].shape[0])
         update = (bg[c] - acc) / blocked.diagonals[c]
         if omega == 1.0:
             xg[c][:] = update
@@ -98,8 +119,9 @@ def sor_backward_sweep(
     xg = _group_views(blocked, x)
     bg = _group_views(blocked, b)
     nc = blocked.n_groups
+    offdiag = blocked.offdiag_block_list
     for c in reversed(range(nc)):
-        acc = blocked.block_row_sum(c, xg, [j for j in range(nc) if j != c])
+        acc = _block_sum(offdiag[c], xg, blocked.diagonals[c].shape[0])
         update = (bg[c] - acc) / blocked.diagonals[c]
         if omega == 1.0:
             xg[c][:] = update
@@ -180,11 +202,20 @@ class MStepSSOR:
 
     # ------------------------------------------------------- fast application
     def apply(self, r: np.ndarray) -> np.ndarray:
-        """``M_m⁻¹ r`` via the Conrad–Wallach merged sweeps (Algorithm 2)."""
+        """``M_m⁻¹ r`` via the Conrad–Wallach merged sweeps (Algorithm 2).
+
+        The inner loops run off the :class:`BlockedMatrix`'s cached sweep
+        tables: per-color block lists (no dict probing) and precomputed
+        block counts (no per-sweep generator counting).
+        """
         blocked = self.blocked
         nc = blocked.n_groups
         m = self.m
         alphas = self.coefficients
+        lower_blocks = blocked.lower_block_list
+        upper_blocks = blocked.upper_block_list
+        diagonals = blocked.diagonals
+        sizes = [d.shape[0] for d in diagonals]
 
         rt = np.zeros_like(r, dtype=float)
         rg = _group_views(blocked, np.asarray(r, dtype=float))
@@ -198,19 +229,17 @@ class MStepSSOR:
             # Forward sweep c = 0 … nc−1; y[c] holds −(upper sum) from the
             # previous backward pass, x accumulates −(lower sum).
             for c in range(nc):
-                x = -blocked.block_row_sum(c, xg, range(c))
-                multiplies += sum(1 for j in range(c) if j in blocked.blocks[c])
-                xg[c][:] = (x + y[c] + alpha * rg[c]) / blocked.diagonals[c]
+                x = _block_sum(lower_blocks[c], xg, sizes[c], negate=True)
+                multiplies += len(lower_blocks[c])
+                xg[c][:] = (x + y[c] + alpha * rg[c]) / diagonals[c]
                 solves += 1
                 y[c] = x
             # Backward sweep over interior colors nc−2 … 1; y[c] holds
             # −(lower sum) from the forward pass.
             for c in range(nc - 2, 0, -1):
-                x = -blocked.block_row_sum(c, xg, range(c + 1, nc))
-                multiplies += sum(
-                    1 for j in range(c + 1, nc) if j in blocked.blocks[c]
-                )
-                xg[c][:] = (x + y[c] + alpha * rg[c]) / blocked.diagonals[c]
+                x = _block_sum(upper_blocks[c], xg, sizes[c], negate=True)
+                multiplies += len(upper_blocks[c])
+                xg[c][:] = (x + y[c] + alpha * rg[c]) / diagonals[c]
                 solves += 1
                 y[c] = x
             # The last color's upper sum is empty; reset for the next forward.
@@ -221,10 +250,10 @@ class MStepSSOR:
             # — the paper's explicit step (3) — and otherwise feeds the next
             # forward sweep's first solve.
             if nc >= 2:
-                x = -blocked.block_row_sum(0, xg, range(1, nc))
-                multiplies += sum(1 for j in range(1, nc) if j in blocked.blocks[0])
+                x = _block_sum(upper_blocks[0], xg, sizes[0], negate=True)
+                multiplies += len(upper_blocks[0])
                 if s == m:
-                    xg[0][:] = (x + alpha * rg[0]) / blocked.diagonals[0]
+                    xg[0][:] = (x + alpha * rg[0]) / diagonals[0]
                     solves += 1
                 else:
                     y[0] = x

@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.kernels",
     "repro.multicolor",
     "repro.fem",
     "repro.machines",

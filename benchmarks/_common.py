@@ -17,9 +17,9 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro import plate_problem
-from repro.driver import (  # noqa: F401 - schedules re-exported for the benches
-    TABLE2_SCHEDULE,
-    TABLE3_SCHEDULE,
+from repro.driver import (
+    TABLE2_SCHEDULE,  # noqa: F401 - re-exported for the benches
+    TABLE3_SCHEDULE,  # noqa: F401 - re-exported for the benches
     build_blocked_system,
     ssor_interval,
 )

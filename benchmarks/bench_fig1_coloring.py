@@ -5,7 +5,6 @@ the property the figure illustrates: every triangle's three vertices carry
 three distinct colors, so the equations decouple color by color.
 """
 
-from repro.analysis import Table
 
 from _common import cached_plate, emit, run_once
 
@@ -22,7 +21,7 @@ def build_figure() -> str:
         "-" * 68,
         f"nodes per color (R, B, G): {tuple(int(c) for c in counts)}",
         f"triangles: {mesh.n_triangles}, all tri-colored: True",
-        f"sequential row-wrap numbering valid (ncols ≡ 2 mod 3): "
+        "sequential row-wrap numbering valid (ncols ≡ 2 mod 3): "
         f"{mesh.sequential_wrap_consistent}",
     ]
     return "\n".join(lines)

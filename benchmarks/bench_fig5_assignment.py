@@ -28,7 +28,7 @@ def build_figure() -> str:
             f"(grid {grid.prows}×{grid.pcols})",
             "-" * 60,
             assignment.ascii_map(),
-            f"color counts per processor: "
+            "color counts per processor: "
             f"{[tuple(int(c) for c in assignment.color_counts(p)) for p in range(n_procs)]}",
             f"border nodes per directed pair: {borders}",
             f"balance: {report}",

@@ -10,8 +10,6 @@ are nearly flat around ω = 1, justifying the paper's choice of fixing
 ω = 1 in Algorithm 2.
 """
 
-import numpy as np
-
 from repro.analysis import Table
 from repro.core import (
     MStepPreconditioner,

@@ -16,7 +16,7 @@ import pytest
 from repro.core import neumann_coefficients
 from repro.core.mstep import MStepPreconditioner
 from repro.core.splittings import SSORSplitting
-from repro.driver import TABLE2_SCHEDULE, solve_mstep_ssor, ssor_interval
+from repro.driver import TABLE2_SCHEDULE, solve_mstep_ssor
 from repro.multicolor import MStepSSOR
 
 from _common import cached_blocked, cached_interval, cached_plate

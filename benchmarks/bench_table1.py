@@ -47,7 +47,7 @@ def build_table() -> tuple[str, bool]:
 
     interval = cached_interval(20)
     measured = Table(
-        f"Solver variant: fit on the measured spectrum "
+        "Solver variant: fit on the measured spectrum "
         f"[{interval[0]:.4f}, {interval[1]:.4f}] of the a = 20 plate",
         ["m", "criterion", "α₀", "α₁", "α₂", "α₃", "max|1−q|", "κ bound"],
     )

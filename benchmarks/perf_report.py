@@ -14,6 +14,20 @@ Usage (no pytest required)::
     python benchmarks/perf_report.py --meshes 11,20 --repeats 3
     python benchmarks/perf_report.py --out /tmp/bench.json
 
+``--check BASELINE.json`` is the perf-regression gate (CI runs it against
+the committed ``BENCH_kernels.json``): it re-measures with the baseline's
+own configuration, writes the fresh report to ``BENCH_kernels.fresh.json``
+at the repo root (override with ``--out``), and exits nonzero
+if any recorded backend speedup falls below ``--check-tolerance`` times
+its baseline value, if the Table-2 iteration counts drift (a silent
+numerics change), or if the absolute speedup targets are missed::
+
+    python benchmarks/perf_report.py --check BENCH_kernels.json
+
+Speedups are reference÷vectorized ratios measured in the same process, so
+they are stable across machines in a way absolute seconds are not — the
+tolerance only has to absorb scheduler noise.
+
 The benchmark-fixture variant of the same measurements lives in
 ``benchmarks/bench_perf_suite.py`` (pytest marker ``perf``).
 """
@@ -124,9 +138,13 @@ def bench_pcg(problem, blocked, repeats: int, eps: float) -> dict:
 def bench_table2_sweep(problem, blocked, repeats: int, eps: float) -> dict:
     """The full Table-2 m-schedule, end to end, per backend."""
     interval = ssor_interval(blocked)
-    iterations: dict[str, int] = {}
+    # Iteration counts recorded per backend: the perf gate diffs them
+    # against the baseline, so drift in *either* backend's numerics is
+    # caught (a shared dict would let the last-measured backend mask it).
+    iterations: dict[str, dict[str, int]] = {}
 
     def run_schedule(backend: str) -> None:
+        cells = iterations.setdefault(backend, {})
         for m, parametrized in TABLE2_SCHEDULE:
             solve = solve_mstep_ssor(
                 problem, m, parametrized=parametrized, interval=interval,
@@ -134,7 +152,7 @@ def bench_table2_sweep(problem, blocked, repeats: int, eps: float) -> dict:
                 applicator="splitting", backend=backend,
             )
             assert solve.result.converged
-            iterations[solve.label] = solve.iterations
+            cells[solve.label] = solve.iterations
 
     out = {}
     for backend in BACKENDS:
@@ -234,23 +252,105 @@ def render(report: dict) -> str:
     return "\n".join(lines)
 
 
+def check_against_baseline(
+    baseline: dict, report: dict, tolerance: float
+) -> list[str]:
+    """Regression verdicts: every baseline speedup must survive × tolerance.
+
+    Also flags Table-2 iteration-count drift (the gate doubles as a cheap
+    silent-numerics-change detector) and the absolute speedup targets.
+    """
+    failures: list[str] = []
+    for section, by_mesh in baseline.get("results", {}).items():
+        for key, row in by_mesh.items():
+            base_speedup = row.get("speedup")
+            if base_speedup is None:
+                continue
+            fresh_row = report["results"].get(section, {}).get(key)
+            if fresh_row is None:
+                failures.append(f"{section}[{key}]: missing from the fresh report")
+                continue
+            fresh_speedup = fresh_row["speedup"]
+            floor = tolerance * base_speedup
+            if fresh_speedup < floor:
+                failures.append(
+                    f"{section}[{key}]: speedup {fresh_speedup:.2f}× < "
+                    f"{floor:.2f}× (= {tolerance:g} × baseline "
+                    f"{base_speedup:.2f}×)"
+                )
+            base_iters = row.get("iterations")
+            if base_iters is not None and fresh_row.get("iterations") != base_iters:
+                failures.append(
+                    f"{section}[{key}]: iteration counts drifted from the "
+                    "baseline — numerics changed, not just speed"
+                )
+    if not report["targets"]["met"]:
+        t = report["targets"]
+        failures.append(
+            "absolute targets missed: apply_p_inv "
+            f"{t['apply_p_inv_speedup']:.1f}× (need "
+            f"≥{t['apply_p_inv_speedup_min']:g}×), table2 "
+            f"{t['table2_speedup']:.1f}× (need ≥{t['table2_speedup_min']:g}×)"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--meshes", default="20,41",
-        help="comma-separated plate sizes a (default 20,41)",
+        "--meshes", default=None,
+        help="comma-separated plate sizes a (default 20,41; in --check mode "
+        "the baseline's own meshes)",
     )
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--eps", type=float, default=1e-6)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--eps", type=float, default=None)
     parser.add_argument(
         "--table2-mesh", type=int, default=None,
         help="mesh for the end-to-end Table-2 sweep (default: smallest mesh)",
     )
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_kernels.json"),
-        help="output JSON path (default BENCH_kernels.json at the repo root)",
+        "--check", metavar="BASELINE", default=None,
+        help="regression-gate mode: re-measure with BASELINE's config and "
+        "fail if any recorded speedup regresses beyond the tolerance",
+    )
+    parser.add_argument(
+        "--check-tolerance", type=float, default=0.5,
+        help="a fresh speedup may not fall below this fraction of its "
+        "baseline value (default 0.5)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default BENCH_kernels.json at the repo "
+        "root, or BENCH_kernels.fresh.json in --check mode)",
     )
     args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check is not None:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            parser.error(f"--check baseline {baseline_path} does not exist")
+        baseline = json.loads(baseline_path.read_text())
+        base_config = baseline.get("config", {})
+        if args.meshes is None and "meshes" in base_config:
+            args.meshes = ",".join(str(a) for a in base_config["meshes"])
+        if args.repeats is None:
+            args.repeats = base_config.get("repeats", 3)
+        if args.eps is None:
+            args.eps = base_config.get("eps", 1e-6)
+        if args.table2_mesh is None:
+            table2_mesh = base_config.get("table2_mesh")
+            if table2_mesh is not None and str(table2_mesh) in (
+                args.meshes or ""
+            ).split(","):
+                args.table2_mesh = table2_mesh
+
+    if args.meshes is None:
+        args.meshes = "20,41"
+    if args.repeats is None:
+        args.repeats = 3
+    if args.eps is None:
+        args.eps = 1e-6
     try:
         meshes = [int(tok) for tok in args.meshes.split(",") if tok.strip()]
     except ValueError:
@@ -261,6 +361,9 @@ def main(argv=None) -> int:
         parser.error(
             f"--table2-mesh {args.table2_mesh} must be one of --meshes {meshes}"
         )
+    if args.out is None:
+        name = "BENCH_kernels.fresh.json" if args.check else "BENCH_kernels.json"
+        args.out = str(REPO_ROOT / name)
 
     report = build_report(
         meshes=meshes, repeats=args.repeats, eps=args.eps,
@@ -270,6 +373,21 @@ def main(argv=None) -> int:
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(render(report))
     print(f"\n[written to {out_path}]")
+
+    if baseline is not None:
+        failures = check_against_baseline(baseline, report, args.check_tolerance)
+        print()
+        if failures:
+            print("PERF GATE: FAIL")
+            for line in failures:
+                print(f"  - {line}")
+            return 1
+        print(
+            "PERF GATE: PASS — no speedup below "
+            f"{args.check_tolerance:g}× its baseline, iteration counts "
+            "unchanged, targets met"
+        )
+        return 0
     return 0 if report["targets"]["met"] else 1
 
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.linalg as sla
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.core.polynomial import eigenvalue_map

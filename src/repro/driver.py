@@ -34,6 +34,7 @@ __all__ = [
     "TABLE3_SCHEDULE",
     "MStepSolve",
     "build_blocked_system",
+    "build_mstep_applicator",
     "mstep_coefficients",
     "ssor_interval",
     "solve_mstep_ssor",
@@ -95,6 +96,30 @@ def mstep_coefficients(
     if criterion == "minmax":
         return minmax_coefficients(m, interval)
     raise ValueError(f"unknown parametrization criterion {criterion!r}")
+
+
+def build_mstep_applicator(
+    blocked: BlockedMatrix,
+    coefficients: np.ndarray,
+    applicator: str = "sweep",
+    backend: str | None = None,
+):
+    """The m-step SSOR realization shared by the driver and the machines.
+
+    ``"sweep"`` is the Conrad–Wallach merged multicolor sweep of
+    Algorithm 2 (:class:`MStepSSOR`); ``"splitting"`` routes through
+    :class:`MStepPreconditioner` over the SSOR splitting, whose triangular
+    solves dispatch on the kernel ``backend`` (``"vectorized"`` cached
+    color-block sweeps or the ``"reference"`` row-sequential pin).  All
+    paths apply the same operator to ≤1e−12.
+    """
+    require(applicator in ("sweep", "splitting"),
+            "applicator must be 'sweep' or 'splitting'")
+    if applicator == "sweep":
+        return MStepSSOR(blocked, coefficients)
+    return MStepPreconditioner(
+        SSORSplitting(blocked.permuted, backend=backend), coefficients
+    )
 
 
 @dataclass
@@ -163,12 +188,9 @@ def solve_mstep_ssor(
         if parametrized and interval is None:
             interval = ssor_interval(blocked)
         coefficients = mstep_coefficients(m, parametrized, interval, criterion, weight)
-        if applicator == "sweep":
-            preconditioner = MStepSSOR(blocked, coefficients)
-        else:
-            preconditioner = MStepPreconditioner(
-                SSORSplitting(blocked.permuted, backend=backend), coefficients
-            )
+        preconditioner = build_mstep_applicator(
+            blocked, coefficients, applicator=applicator, backend=backend
+        )
 
     result = pcg(
         blocked.permuted,

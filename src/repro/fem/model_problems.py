@@ -19,7 +19,7 @@ from functools import cached_property
 import numpy as np
 import scipy.sparse as sp
 
-from repro.fem.mesh import COLOR_NAMES, PlateMesh
+from repro.fem.mesh import PlateMesh
 from repro.fem.plane_stress import ElasticMaterial, assemble_plate
 from repro.util import require
 

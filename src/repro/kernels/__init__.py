@@ -24,12 +24,14 @@ from repro.kernels.backend import (
 )
 from repro.kernels.ops import (
     axpy,
+    matvec_accumulate,
     matvec_into,
     row_scale,
     supports_matvec_into,
     xpay_into,
 )
 from repro.kernels.triangular import (
+    ColorBlockMergedSweep,
     ColorBlockTriangularSolver,
     FactorizedTriangularSolver,
     ReferenceTriangularSolver,
@@ -47,10 +49,12 @@ __all__ = [
     "set_default_backend",
     "use_backend",
     "axpy",
+    "matvec_accumulate",
     "matvec_into",
     "row_scale",
     "supports_matvec_into",
     "xpay_into",
+    "ColorBlockMergedSweep",
     "ColorBlockTriangularSolver",
     "FactorizedTriangularSolver",
     "ReferenceTriangularSolver",

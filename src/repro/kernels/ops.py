@@ -21,8 +21,10 @@ try:  # scipy's compiled CSR kernels; absent only on exotic builds.
     from scipy.sparse import _sparsetools as _csr_tools
 
     _csr_matvec = _csr_tools.csr_matvec
+    _csr_matvecs = getattr(_csr_tools, "csr_matvecs", None)
 except (ImportError, AttributeError):  # pragma: no cover - fallback guard
     _csr_matvec = None
+    _csr_matvecs = None
 
 __all__ = [
     "axpy",
@@ -30,6 +32,7 @@ __all__ = [
     "row_scale",
     "supports_matvec_into",
     "matvec_into",
+    "matvec_accumulate",
 ]
 
 
@@ -89,4 +92,45 @@ def matvec_into(a, x: np.ndarray, out: np.ndarray) -> np.ndarray:
         _csr_matvec(a.shape[0], a.shape[1], a.indptr, a.indices, a.data, x, out)
         return out
     out[:] = a @ x
+    return out
+
+
+def matvec_accumulate(a, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out += a @ x`` without a temporary when the compiled path applies.
+
+    Scipy's ``csr_matvec`` / ``csr_matvecs`` *accumulate* into their output
+    (the reason :func:`matvec_into` zero-fills first) — here that is exactly
+    the semantics wanted, so the block sums of the multicolor sweeps can run
+    over preallocated accumulators.  Handles ``(n,)`` vectors and ``(n, k)``
+    blocks; anything outside the fast path falls back to ``out += a @ x``
+    (one temporary, same arithmetic).
+    """
+    if (
+        sp.issparse(a)
+        and a.format == "csr"
+        and a.dtype == np.float64
+        and x.dtype == np.float64
+        and out.dtype == np.float64
+        and x.flags.c_contiguous
+        and out.flags.c_contiguous
+        # The compiled kernels trust their dimensions blindly; mismatched
+        # shapes must fall through to `out += a @ x`, which raises.
+        and a.shape[1] == x.shape[0]
+        and a.shape[0] == out.shape[0]
+    ):
+        if x.ndim == 1 and out.ndim == 1 and _csr_matvec is not None:
+            _csr_matvec(a.shape[0], a.shape[1], a.indptr, a.indices, a.data, x, out)
+            return out
+        if (
+            x.ndim == 2
+            and out.ndim == 2
+            and x.shape[1] == out.shape[1]
+            and _csr_matvecs is not None
+        ):
+            _csr_matvecs(
+                a.shape[0], a.shape[1], x.shape[1],
+                a.indptr, a.indices, a.data, x.ravel(), out.ravel(),
+            )
+            return out
+    out += a @ x
     return out

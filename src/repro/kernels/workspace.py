@@ -35,6 +35,32 @@ class WorkspacePool:
         buf.fill(0.0)
         return buf
 
+    def get_list(self, name: str, shapes, dtype=np.float64) -> list[np.ndarray]:
+        """One buffer per entry of ``shapes``, named ``name0``, ``name1``, …
+
+        The per-color auxiliary vectors of the multicolor sweeps (one ``y``
+        and one scratch accumulator per color) pool through this; callers
+        may freely swap the returned list's elements between roles — the
+        buffers stay owned by the pool either way.
+        """
+        return [self.get(f"{name}{i}", s, dtype) for i, s in enumerate(shapes)]
+
+    def zeros_list(self, name: str, shapes, dtype=np.float64) -> list[np.ndarray]:
+        """Like :meth:`get_list` but every buffer zero-filled."""
+        buffers = self.get_list(name, shapes, dtype)
+        for buf in buffers:
+            buf.fill(0.0)
+        return buffers
+
+    def peek(self, name: str) -> np.ndarray | None:
+        """The buffer currently pooled under ``name``, if any (no allocation).
+
+        Lets a consumer detect that an *input* aliases one of its own
+        pooled buffers (e.g. an apply fed its previous pooled result) and
+        defensively copy before overwriting it.
+        """
+        return self._buffers.get(name)
+
     def clear(self) -> None:
         self._buffers.clear()
 

@@ -25,12 +25,16 @@ the eliminated system, which the tests verify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.fem.model_problems import PlateProblem
 from repro.fem.plane_stress import assemble_plate_full
+from repro.kernels import ops as kernel_ops
+from repro.kernels.backend import REFERENCE, resolve_backend
+from repro.kernels.triangular import ColorBlockMergedSweep, ColorBlockTriangularSolver
 from repro.machines.diagonals import DiagonalStorage
 from repro.machines.timing import CYBER_203, VectorTimingModel
 from repro.machines.vector import VectorMachine
@@ -122,6 +126,7 @@ class CyberMachine:
         self.max_vector_length = max(
             (s.stop - s.start) for s in self.slices
         )
+        self._merged_sweep: ColorBlockMergedSweep | None = None
 
     # ------------------------------------------------------------- primitives
     def _matvec(self, vm: VectorMachine, x: np.ndarray) -> np.ndarray:
@@ -134,20 +139,56 @@ class CyberMachine:
             out[self.slices[c]] = acc
         return vm.apply_mask(out, self.free_mask)
 
-    def _block_row_sum(
-        self, vm: VectorMachine, c: int, xg: list[np.ndarray], js
-    ) -> np.ndarray:
-        acc = np.zeros(self.diagonals[c].shape[0])
-        for j in js:
-            storage = self.blocks[c].get(j)
-            if storage is not None:
-                vm.diag_matvec_accumulate(storage, xg[j], acc)
-        return acc
+    # -------------------------------------------------- preconditioner charge
+    def _charge_precondition(self, vm: VectorMachine, m: int, width: int = 1) -> None:
+        """Replay Algorithm 2's charge stream without executing it.
 
-    def _precondition(
-        self, vm: VectorMachine, coefficients: np.ndarray, r: np.ndarray
+        The cost of the merged Conrad–Wallach sweeps is purely structural —
+        one multiply-add per stored diagonal of each touched block, one
+        axpy/add/divide triple per color solve — so both numeric backends
+        charge this identical stream (the control-vector masking rides
+        along free).  ``width > 1`` charges an ``(n, width)`` batched
+        application: the same operations at block width, each paying a
+        single pipeline startup (:meth:`VectorTimingModel.block_op_time`).
+
+        The loop skeleton mirrors :meth:`_precondition_reference` step for
+        step (and, through it, the kernel merged sweep); the
+        backend-equivalence suite pins the three in lockstep.
+        """
+        nc = self.n_groups
+
+        def charge_sums(c: int, js) -> None:
+            for j in js:
+                storage = self.blocks[c].get(j)
+                if storage is None:
+                    continue
+                for index in range(storage.n_diagonals):
+                    start, stop = storage.diagonal_span(index)
+                    vm.charge("diag_madd", stop - start, width)
+
+        def charge_solve(c: int) -> None:
+            n = self.diagonals[c].shape[0]
+            vm.charge("axpy", n, width)
+            vm.charge("add", n, width)
+            vm.charge("divide", n, width)
+
+        for s in range(1, m + 1):
+            for c in range(nc):
+                charge_sums(c, range(c))
+                charge_solve(c)
+            for c in range(nc - 2, 0, -1):
+                charge_sums(c, range(c + 1, nc))
+                charge_solve(c)
+            charge_sums(0, range(1, nc))
+            if s == m:
+                charge_solve(0)
+
+    # ------------------------------------------------ preconditioner numerics
+    def _precondition_reference(
+        self, coefficients: np.ndarray, r: np.ndarray
     ) -> np.ndarray:
-        """Algorithm 2 — merged Conrad–Wallach sweeps in vector primitives."""
+        """Algorithm 2 by hand-rolled per-color solves over the diagonal
+        storage — the paper-faithful pin the kernel path is tested against."""
         nc = self.n_groups
         m = coefficients.size
         rt = np.zeros_like(r)
@@ -155,31 +196,132 @@ class CyberMachine:
         xg = [rt[s] for s in self.slices]
         y = [np.zeros(d.shape[0]) for d in self.diagonals]
 
+        def row_sum(c: int, js) -> np.ndarray:
+            acc = np.zeros(self.diagonals[c].shape[0])
+            for j in js:
+                storage = self.blocks[c].get(j)
+                if storage is not None:
+                    storage.matvec(xg[j], out=acc)
+            return acc
+
         def solve(c: int, x: np.ndarray, yc: np.ndarray, alpha: float) -> np.ndarray:
-            rhs = vm.add(x, vm.axpy(alpha, rg[c], yc))
-            sol = vm.divide(rhs, self.diagonals[c])
-            return vm.apply_mask(sol, self.group_free[c])
+            rhs = x + kernel_ops.axpy(alpha, rg[c], yc)
+            sol = rhs / self.diagonals[c]
+            sol[~self.group_free[c]] = 0.0
+            return sol
 
         for s in range(1, m + 1):
             alpha = float(coefficients[m - s])
             for c in range(nc):
-                x = self._block_row_sum(vm, c, xg, range(c))
+                x = row_sum(c, range(c))
                 np.negative(x, out=x)
                 xg[c][:] = solve(c, x, y[c], alpha)
                 y[c] = x
             for c in range(nc - 2, 0, -1):
-                x = self._block_row_sum(vm, c, xg, range(c + 1, nc))
+                x = row_sum(c, range(c + 1, nc))
                 np.negative(x, out=x)
                 xg[c][:] = solve(c, x, y[c], alpha)
                 y[c] = x
             y[nc - 1] = np.zeros_like(y[nc - 1])
-            x = self._block_row_sum(vm, 0, xg, range(1, nc))
+            x = row_sum(0, range(1, nc))
             np.negative(x, out=x)
             if s == m:
                 xg[0][:] = solve(0, x, np.zeros_like(x), alpha)
             else:
                 y[0] = x
         return rt
+
+    def _sweep_kernel(self) -> ColorBlockMergedSweep:
+        """The cached kernel-layer realization of Algorithm 2 (built once).
+
+        The padded multicolor system, with constrained rows and columns
+        masked out (the control vector, baked into the operator so no
+        per-color masking pass is needed), splits into its block-lower and
+        block-upper triangles; each becomes a
+        :class:`ColorBlockTriangularSolver` whose cached per-color CSR
+        sub-blocks drive the merged sweeps for single vectors or ``(n, k)``
+        blocks of right-hand sides.
+        """
+        if self._merged_sweep is None:
+            # Reassemble the padded system on demand rather than retaining
+            # the full CSR for the machine's lifetime — the steady-state
+            # footprint stays at the diagonal-storage level the
+            # storage_report() ledger documents.
+            k_full, _ = assemble_plate_full(self.problem.mesh, self.problem.material)
+            k = self.ordering.permute_matrix(k_full).tocsr()
+            diag = np.concatenate(self.diagonals)
+            mask = sp.diags(self.free_mask.astype(float))
+            off_masked = (mask @ (k - sp.diags(k.diagonal())) @ mask).tocsr()
+            t_lower = (sp.diags(diag) + sp.tril(off_masked, -1)).tocsr()
+            t_upper = (sp.diags(diag) + sp.triu(off_masked, 1)).tocsr()
+            self._merged_sweep = ColorBlockMergedSweep(
+                ColorBlockTriangularSolver(t_lower, self.slices, lower=True),
+                ColorBlockTriangularSolver(t_upper, self.slices, lower=False),
+            )
+            self._permuted = None  # the sweep's cached sub-blocks suffice now
+        return self._merged_sweep
+
+    def _precondition(
+        self,
+        vm: VectorMachine,
+        coefficients: np.ndarray,
+        r: np.ndarray,
+        backend: str,
+    ) -> np.ndarray:
+        """Algorithm 2 — merged Conrad–Wallach sweeps, backend-dispatched.
+
+        Both backends charge the identical vector-primitive stream (the
+        cost is structural); only the numeric engine differs — the
+        ``"reference"`` per-color diagonal-storage solves, or the kernel
+        layer's cached color-block sweeps.  Iterates agree to roundoff
+        (summation order differs), clocks and op counts exactly.
+        """
+        self._charge_precondition(vm, coefficients.size)
+        if backend == REFERENCE:
+            return self._precondition_reference(coefficients, r)
+        # The kernel returns a pooled workspace buffer; Algorithm 1 never
+        # holds r̃ across preconditioner applications, so no copy is needed.
+        return self._sweep_kernel().apply(coefficients, r)
+
+    def precondition_block(
+        self,
+        coefficients: np.ndarray,
+        r_block: np.ndarray,
+        vm: VectorMachine | None = None,
+        backend: str | None = None,
+    ) -> np.ndarray:
+        """Batched Algorithm 2 on an ``(n_padded, k)`` block of residuals.
+
+        The vectorized backend runs one merged color-block sweep over the
+        whole block and charges block-width vector operations — a single
+        pipeline startup per color-block op, the long-vector advantage the
+        paper's machine organization is built around.  The reference
+        backend applies column by column and pays ``k`` full charge
+        streams.  Constrained slots are masked on entry (control vector,
+        free of charge).
+        """
+        coefficients = np.atleast_1d(np.asarray(coefficients, dtype=float))
+        require(coefficients.size >= 1, "need at least one step (m ≥ 1)")
+        r_block = np.asarray(r_block, dtype=float)
+        require(
+            r_block.ndim == 2 and r_block.shape[0] == self.n_padded,
+            "need an (n_padded, k) block of right-hand sides",
+        )
+        backend = resolve_backend(backend)
+        vm = vm if vm is not None else VectorMachine(self.timing)
+        masked = vm.apply_mask(r_block, self.free_mask)
+        m = coefficients.size
+        width = r_block.shape[1]
+        if backend == REFERENCE:
+            out = np.empty_like(masked)
+            for col in range(width):
+                self._charge_precondition(vm, m)
+                out[:, col] = self._precondition_reference(
+                    coefficients, masked[:, col].copy()
+                )
+            return out
+        self._charge_precondition(vm, m, width=width)
+        return self._sweep_kernel().apply(coefficients, masked).copy()
 
     # ------------------------------------------------------------------ solve
     def solve(
@@ -189,14 +331,24 @@ class CyberMachine:
         eps: float = 1e-6,
         maxiter: int | None = None,
         label: str | None = None,
+        backend: str | None = None,
     ) -> CyberResult:
         """Run Algorithm 1 + Algorithm 2 with full cost accounting.
 
         ``m = 0`` (or empty coefficients) runs plain CG.  For m ≥ 1 supply
         the ``αᵢ`` — :func:`repro.driver.mstep_coefficients` builds them —
         or all-ones is assumed.
+
+        ``backend`` mirrors :func:`repro.driver.solve_mstep_ssor`: the
+        default ``"vectorized"`` routes the preconditioner through the
+        kernel layer's cached :class:`ColorBlockTriangularSolver` sweeps,
+        ``"reference"`` keeps the hand-rolled per-color diagonal-storage
+        solves.  The charged clock and operation counts are identical
+        either way (the cost stream is structural); iterates agree to
+        roundoff-in-summation-order.
         """
         require(m >= 0, "m must be non-negative")
+        backend = resolve_backend(backend)
         if m >= 1:
             coefficients = (
                 np.ones(m) if coefficients is None else np.asarray(coefficients, float)
@@ -216,7 +368,7 @@ class CyberMachine:
             if coefficients is None:
                 return vm.copy(r)
             before = vm.elapsed_seconds
-            out = self._precondition(vm, coefficients, r)
+            out = self._precondition(vm, coefficients, r, backend)
             precond_seconds += vm.elapsed_seconds - before
             return out
 

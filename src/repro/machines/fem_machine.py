@@ -28,12 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.driver import build_blocked_system
+from repro.driver import build_blocked_system, build_mstep_applicator
 from repro.fem.model_problems import PlateProblem
 from repro.machines.comm import CommLog
 from repro.machines.timing import FEM_1983, ArrayTimingModel
 from repro.machines.topology import Assignment, ProcessorGrid
-from repro.multicolor.sor import MStepSSOR
 from repro.core.pcg import pcg
 from repro.util import require
 
@@ -146,45 +145,68 @@ class FiniteElementMachine:
             per_proc[q] += t  # matching receive
         return float(per_proc.max()) if per_proc.size else 0.0
 
-    def _precond_step_compute(self) -> float:
+    def _precond_step_compute(self, width: int = 1) -> float:
         """Compute seconds of one merged Conrad–Wallach step (max over procs).
 
         Per processor: all off-diagonal stencil coefficients touched once
         (2 flops each), 4 flops per solved component (forward all colors,
         backward the interior colors), plus the fixed per-color-phase setup
         overhead of the stencil data structures (2·nc − 1 phases).
+
+        ``width > 1`` models a dense color-block sweep over an ``(n, width)``
+        block of right-hand sides: the flops scale with the block width
+        while the per-color-phase setup is paid once per *block*, not once
+        per vector — the same startup amortization the kernel layer's
+        batched triangular solves realize in software.
         """
         t_flop = self.timing.flop_time
         phases = 2 * self.problem.n_groups - 1
         return (
             max(
-                self._precond_mult_flops[p] * t_flop
-                + 4 * (self._owned[p] + self._owned_backward[p]) * t_flop
+                self._precond_mult_flops[p] * width * t_flop
+                + 4 * (self._owned[p] + self._owned_backward[p]) * width * t_flop
                 for p in range(self.assignment.n_procs)
             )
             + phases * self.timing.color_phase_overhead
         )
 
-    def _precond_step_time(self, comm: CommLog | None) -> float:
-        """One merged Conrad–Wallach step: compute + the 5 border exchanges."""
-        compute = self._precond_step_compute()
+    def _precond_step_time(self, comm: CommLog | None, width: int = 1) -> float:
+        """One merged Conrad–Wallach step: compute + the 5 border exchanges.
+
+        At ``width > 1`` each border exchange still packages one record per
+        neighbor — the per-record latency amortizes over the block — with
+        ``width`` times the words.
+        """
+        compute = self._precond_step_compute(width)
         comm_time = 0.0
         if self.assignment.n_procs > 1:
             for event in range(3):  # forward: R, B, G phases
                 words = {
-                    pair: w[event]
+                    pair: w[event] * width
                     for pair, w in self._fwd_words.items()
                     if w[event] > 0
                 }
                 comm_time += self._exchange_phase_time(words, comm)
             for event in range(2):  # backward pairs
                 words = {
-                    pair: w[event]
+                    pair: w[event] * width
                     for pair, w in self._bwd_words.items()
                     if w[event] > 0
                 }
                 comm_time += self._exchange_phase_time(words, comm)
         return compute + comm_time
+
+    def preconditioner_block_seconds(self, m: int, width: int = 1) -> float:
+        """Modeled seconds of one batched m-step application on ``(n, width)``.
+
+        The machine analogue of the kernel layer's ``(n, k)`` batched
+        preconditioning: per-phase setup and per-record link latency are
+        charged once per color-block operation, so the per-right-hand-side
+        cost falls as the block widens.
+        """
+        require(m >= 1, "m must be at least 1")
+        require(width >= 1, "width must be at least 1")
+        return m * self._precond_step_time(None, width=width)
 
     def _outer_phase_times(self, comm: CommLog | None) -> dict[str, float]:
         """Static per-iteration costs of the outer CG phases."""
@@ -240,8 +262,21 @@ class FiniteElementMachine:
         eps: float = 1e-6,
         maxiter: int | None = None,
         label: str | None = None,
+        applicator: str = "splitting",
+        backend: str | None = None,
     ) -> FEMResult:
-        """Run the method; numerics identical to the reference solver."""
+        """Run the method; numerics identical to the reference solver.
+
+        ``applicator``/``backend`` mirror
+        :func:`repro.driver.solve_mstep_ssor`: the default routes the
+        preconditioner through the kernel layer's cached
+        :class:`~repro.kernels.ColorBlockTriangularSolver` sweeps
+        (``backend="vectorized"``), with ``backend="reference"`` the
+        row-sequential pin and ``applicator="sweep"`` the Conrad–Wallach
+        merged sweep.  The charged clock depends only on the iteration
+        count — which every path reproduces — so the cost model is
+        backend-invariant.
+        """
         require(m >= 0, "m must be non-negative")
         if m >= 1:
             coefficients = (
@@ -249,7 +284,9 @@ class FiniteElementMachine:
             )
             require(coefficients.size == m, "need one coefficient per step")
             parametrized = not np.allclose(coefficients, 1.0)
-            preconditioner = MStepSSOR(self.blocked, coefficients)
+            preconditioner = build_mstep_applicator(
+                self.blocked, coefficients, applicator=applicator, backend=backend
+            )
         else:
             parametrized = False
             preconditioner = None

@@ -69,6 +69,19 @@ class VectorTimingModel:
             return 0.0
         return n_ops * (self.startup_elements + n) * self.element_time
 
+    def block_op_time(self, n: int, width: int) -> float:
+        """One elementwise op on an ``(n, width)`` block streamed as a unit.
+
+        The dense color-block sweeps of the kernel layer apply a whole
+        block of right-hand sides per instruction, so the pipeline pays
+        *one* startup for the ``n·width``-element stream — versus ``width``
+        separate startups when the same work is issued vector at a time.
+        ``width = 1`` is exactly :meth:`vector_op_time`.
+        """
+        if n <= 0 or width <= 0:
+            return 0.0
+        return (self.startup_elements + n * width) * self.element_time
+
     def efficiency(self, n: int) -> float:
         """Fraction of peak stream rate achieved at vector length n."""
         if n <= 0:

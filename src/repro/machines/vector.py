@@ -60,6 +60,21 @@ class VectorMachine:
     def _charge_vec(self, kind: str, n: int, n_ops: int = 1) -> None:
         self.log.charge(kind, self.timing.vector_op_time(n, n_ops))
 
+    def charge(self, kind: str, n: int, width: int = 1) -> None:
+        """Charge one vector (or ``(n, width)``-block) op without executing it.
+
+        The structural charge-replay entry point: backend-dispatched
+        numerics (the kernel-routed preconditioner of the CYBER simulator)
+        compute outside the machine's primitives, while the charge stream
+        stays exactly that of the paper's algorithm.  Block ops pay a
+        single pipeline startup for the whole ``n·width``-element stream —
+        see :meth:`VectorTimingModel.block_op_time`.
+        """
+        if width == 1:
+            self.log.charge(kind, self.timing.vector_op_time(n))
+        else:
+            self.log.charge(kind, self.timing.block_op_time(n, width))
+
     def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         self._charge_vec("add", a.shape[0])
         return a + b

@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels.ops import matvec_accumulate
+from repro.kernels.workspace import WorkspacePool
 from repro.multicolor.blocked import BlockedMatrix
 from repro.util import OperationCounter, inf_norm, require
 
@@ -190,6 +192,7 @@ class MStepSSOR:
     blocked: BlockedMatrix
     coefficients: np.ndarray
     counter: OperationCounter = field(default_factory=OperationCounter)
+    workspace: WorkspacePool = field(default_factory=WorkspacePool, repr=False)
 
     def __post_init__(self) -> None:
         self.coefficients = np.atleast_1d(np.asarray(self.coefficients, dtype=float))
@@ -205,8 +208,12 @@ class MStepSSOR:
         """``M_m⁻¹ r`` via the Conrad–Wallach merged sweeps (Algorithm 2).
 
         The inner loops run off the :class:`BlockedMatrix`'s cached sweep
-        tables: per-color block lists (no dict probing) and precomputed
-        block counts (no per-sweep generator counting).
+        tables (per-color block lists, no dict probing) and out of pooled
+        workspace buffers: the result vector, the per-color ``y``
+        auxiliaries and the block-sum accumulators are all reused across
+        applications, so a PCG solve's steady state allocates nothing here.
+        The returned array is a pooled buffer, valid until the next
+        ``apply`` on this object — copy it if it must outlive that.
         """
         blocked = self.blocked
         nc = blocked.n_groups
@@ -215,48 +222,72 @@ class MStepSSOR:
         lower_blocks = blocked.lower_block_list
         upper_blocks = blocked.upper_block_list
         diagonals = blocked.diagonals
-        sizes = [d.shape[0] for d in diagonals]
+        pool = self.workspace
 
-        rt = np.zeros_like(r, dtype=float)
-        rg = _group_views(blocked, np.asarray(r, dtype=float))
+        r = np.asarray(r, dtype=float)
+        rt_pooled = pool.peek("rt")
+        if rt_pooled is not None and np.may_share_memory(r, rt_pooled):
+            # The caller fed us our own pooled result; zero-filling it below
+            # would silently destroy the input.
+            r = r.copy()
+        rt = pool.zeros("rt", r.shape)
+        rg = _group_views(blocked, r)
         xg = _group_views(blocked, rt)
-        y: list[np.ndarray] = [np.zeros(d.shape[0]) for d in blocked.diagonals]
+        tail = r.shape[1:]
+        group_shapes = [(d.shape[0],) + tail for d in diagonals]
+        y = pool.zeros_list("y", group_shapes)
+        xs = pool.get_list("x", group_shapes)
         multiplies = 0
         solves = 0
+
+        def block_sum_neg(pairs, buf: np.ndarray) -> np.ndarray:
+            buf.fill(0.0)
+            for j, block in pairs:
+                matvec_accumulate(block, xg[j], buf)
+            np.negative(buf, out=buf)
+            return buf
+
+        def solve_into(c: int, x: np.ndarray, yc, alpha: float) -> None:
+            zc = xg[c]
+            np.multiply(rg[c], alpha, out=zc)
+            if yc is not None:
+                zc += yc
+            zc += x
+            zc /= diagonals[c] if r.ndim == 1 else diagonals[c][:, None]
 
         for s in range(1, m + 1):
             alpha = alphas[m - s]
             # Forward sweep c = 0 … nc−1; y[c] holds −(upper sum) from the
             # previous backward pass, x accumulates −(lower sum).
             for c in range(nc):
-                x = _block_sum(lower_blocks[c], xg, sizes[c], negate=True)
+                x = block_sum_neg(lower_blocks[c], xs[c])
                 multiplies += len(lower_blocks[c])
-                xg[c][:] = (x + y[c] + alpha * rg[c]) / diagonals[c]
+                solve_into(c, x, y[c], alpha)
                 solves += 1
-                y[c] = x
+                y[c], xs[c] = xs[c], y[c]
             # Backward sweep over interior colors nc−2 … 1; y[c] holds
             # −(lower sum) from the forward pass.
             for c in range(nc - 2, 0, -1):
-                x = _block_sum(upper_blocks[c], xg, sizes[c], negate=True)
+                x = block_sum_neg(upper_blocks[c], xs[c])
                 multiplies += len(upper_blocks[c])
-                xg[c][:] = (x + y[c] + alpha * rg[c]) / diagonals[c]
+                solve_into(c, x, y[c], alpha)
                 solves += 1
-                y[c] = x
+                y[c], xs[c] = xs[c], y[c]
             # The last color's upper sum is empty; reset for the next forward.
             if nc >= 2:
-                y[nc - 1] = np.zeros_like(y[nc - 1])
+                y[nc - 1].fill(0.0)
             # First color: compute its upper sum with the final values of this
             # step.  It closes the step (coefficient α_{m−s}) on the last step
             # — the paper's explicit step (3) — and otherwise feeds the next
             # forward sweep's first solve.
             if nc >= 2:
-                x = _block_sum(upper_blocks[0], xg, sizes[0], negate=True)
+                x = block_sum_neg(upper_blocks[0], xs[0])
                 multiplies += len(upper_blocks[0])
                 if s == m:
-                    xg[0][:] = (x + alpha * rg[0]) / diagonals[0]
+                    solve_into(0, x, None, alpha)
                     solves += 1
                 else:
-                    y[0] = x
+                    y[0], xs[0] = xs[0], y[0]
 
         self.counter.precond_applications += 1
         self.counter.precond_steps += m

@@ -1,6 +1,5 @@
 """Tests for the Section-4 performance model, condition studies, reporting."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

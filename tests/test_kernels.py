@@ -405,6 +405,110 @@ class TestOpsKernels:
         v = np.array([1.0, 2.0, 3.0, 4.0])
         assert np.array_equal(ops.row_scale(x, v), x * v[:, None])
 
+    def test_matvec_accumulate_vector(self, blocked):
+        # Accumulation runs term-by-term into `out` (not (a@x) + out), so
+        # agreement is to reassociation roundoff, not bitwise.
+        x = rng_vector(blocked.n, seed=20)
+        out = np.random.default_rng(21).normal(size=blocked.n)
+        expected = out + blocked.permuted @ x
+        ops.matvec_accumulate(blocked.permuted, x, out)
+        assert out == pytest.approx(expected, rel=1e-14, abs=1e-14)
+
+    def test_matvec_accumulate_block(self, blocked):
+        x = np.random.default_rng(22).normal(size=(blocked.n, 3))
+        out = np.random.default_rng(23).normal(size=(blocked.n, 3))
+        expected = out + blocked.permuted @ x
+        ops.matvec_accumulate(blocked.permuted, x, out)
+        assert out == pytest.approx(expected, rel=1e-14, abs=1e-14)
+
+    def test_matvec_accumulate_fallback(self):
+        rng = np.random.default_rng(24)
+        a = rng.normal(size=(6, 6))
+        coo = sp.coo_matrix(a)
+        x = rng.normal(size=6)
+        out = np.ones(6)
+        ops.matvec_accumulate(coo, x, out)
+        assert out == pytest.approx(1.0 + a @ x)
+
+
+class TestColorBlockMergedSweep:
+    """The kernel realization of Algorithm 2 the CYBER simulator routes to."""
+
+    def make_sweep(self, blocked):
+        from repro.kernels import ColorBlockMergedSweep
+
+        splitting = SSORSplitting(blocked.permuted)
+        return ColorBlockMergedSweep(
+            ColorBlockTriangularSolver(
+                splitting._dl, blocked.group_slices, lower=True
+            ),
+            ColorBlockTriangularSolver(
+                splitting._du, blocked.group_slices, lower=False
+            ),
+        )
+
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_matches_mstep_ssor(self, blocked, m):
+        sweep = self.make_sweep(blocked)
+        coeffs = np.arange(1.0, m + 1.0)
+        r = rng_vector(blocked.n, seed=25)
+        expected = MStepSSOR(blocked, coeffs).apply(r)
+        got = sweep.apply(coeffs, r)
+        scale = max(float(np.max(np.abs(expected))), 1.0)
+        assert np.max(np.abs(got - expected)) <= TOL * scale
+
+    def test_batched_matches_columnwise(self, blocked):
+        sweep = self.make_sweep(blocked)
+        coeffs = np.array([1.0, 0.25, 2.0])
+        block = np.random.default_rng(26).normal(size=(blocked.n, 3))
+        batched = sweep.apply(coeffs, block).copy()
+        for col in range(block.shape[1]):
+            single = sweep.apply(coeffs, block[:, col].copy())
+            assert np.max(np.abs(batched[:, col] - single)) <= TOL
+
+    def test_steady_state_reuses_return_buffer(self, blocked):
+        sweep = self.make_sweep(blocked)
+        r = rng_vector(blocked.n, seed=27)
+        first = sweep.apply(np.ones(2), r)
+        second = sweep.apply(np.ones(2), r)
+        assert second is first  # pooled workspace, by design
+
+    def test_apply_of_own_pooled_output(self, blocked):
+        # Feeding the pooled result back in must not zero the input.
+        sweep = self.make_sweep(blocked)
+        coeffs = np.ones(2)
+        r = rng_vector(blocked.n, seed=30)
+        expected = sweep.apply(coeffs, sweep.apply(coeffs, r).copy()).copy()
+        composed = sweep.apply(coeffs, sweep.apply(coeffs, r))
+        assert composed == pytest.approx(expected, rel=TOL, abs=TOL)
+
+    def test_rejects_mismatched_factors(self, blocked):
+        from repro.kernels import ColorBlockMergedSweep
+
+        splitting = SSORSplitting(blocked.permuted)
+        lower = ColorBlockTriangularSolver(
+            splitting._dl, blocked.group_slices, lower=True
+        )
+        half = blocked.group_slices[: blocked.n_groups // 2] + (
+            slice(blocked.group_slices[blocked.n_groups // 2].start, blocked.n),
+        )
+        upper = ColorBlockTriangularSolver(splitting._du, half, lower=False)
+        with pytest.raises(ValueError, match="disagree"):
+            ColorBlockMergedSweep(lower, upper)
+
+    def test_rejects_mismatched_diagonals(self, blocked):
+        from repro.kernels import ColorBlockMergedSweep
+
+        splitting = SSORSplitting(blocked.permuted)
+        lower = ColorBlockTriangularSolver(
+            splitting._dl, blocked.group_slices, lower=True
+        )
+        upper = ColorBlockTriangularSolver(
+            (2.0 * splitting._du).tocsr(), blocked.group_slices, lower=False
+        )
+        with pytest.raises(ValueError, match="diagonal"):
+            ColorBlockMergedSweep(lower, upper)
+
 
 class TestWorkspacePool:
     def test_reuses_buffers(self):
@@ -429,6 +533,64 @@ class TestWorkspacePool:
         first = precond.apply(r)
         second = precond.apply(r)
         assert second is first  # same workspace buffer, by design
+
+    def test_get_list_names_and_reuses(self):
+        pool = WorkspacePool()
+        buffers = pool.get_list("y", [(3,), (5,)])
+        assert [b.shape for b in buffers] == [(3,), (5,)]
+        again = pool.zeros_list("y", [(3,), (5,)])
+        assert all(a is b for a, b in zip(buffers, again))
+        assert all(np.array_equal(b, np.zeros(b.shape)) for b in again)
+
+
+class TestMStepSSORAllocationFree:
+    """The ROADMAP-noted gap: the sweep applicator's ``y`` auxiliaries (and
+    result vector) are pooled, so the pcg() steady state allocates nothing
+    at the preconditioner boundary."""
+
+    def test_apply_returns_pooled_buffer(self, blocked):
+        applicator = MStepSSOR(blocked, neumann_coefficients(3))
+        r = rng_vector(blocked.n, seed=28)
+        first = applicator.apply(r)
+        bytes_after_warmup = applicator.workspace.allocated_bytes
+        second = applicator.apply(r)
+        assert second is first
+        assert applicator.workspace.allocated_bytes == bytes_after_warmup
+
+    def test_apply_of_own_pooled_output(self, blocked):
+        # Feeding the pooled result back in must not zero the input.
+        applicator = MStepSSOR(blocked, neumann_coefficients(2))
+        r = rng_vector(blocked.n, seed=31)
+        expected = applicator.apply_reference(applicator.apply_reference(r))
+        composed = applicator.apply(applicator.apply(r))
+        assert composed == pytest.approx(expected, rel=1e-10, abs=1e-10)
+
+    def test_zero_steady_state_allocations(self):
+        import gc
+        import tracemalloc
+
+        # Large enough that any per-apply vector allocation (≥ n·8 bytes)
+        # towers over the few hundred bytes of transient Python objects.
+        problem = plate_problem(24)
+        blocked = build_blocked_system(problem)
+        applicator = MStepSSOR(blocked, neumann_coefficients(3))
+        r = rng_vector(blocked.n, seed=29)
+        applicator.apply(r)
+        applicator.apply(r)  # warm every pooled buffer
+
+        gc.collect()
+        tracemalloc.start()
+        try:
+            base = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            for _ in range(5):
+                applicator.apply(r)
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        # Peak transient memory stays below a single full-length vector:
+        # no group vector, accumulator or result was freshly allocated.
+        assert peak - base < blocked.n * 8
 
 
 # --------------------------------------------------------------------------

@@ -13,7 +13,7 @@ reduction modes, and shows B/A falling — the paper's predicted mechanism
 for ever-larger optimal m.
 """
 
-from repro import plate_problem
+from repro import build_scenario
 from repro.analysis import Table
 from repro.machines import FiniteElementMachine
 
@@ -42,7 +42,7 @@ def build_table():
     )
     ratios = {"software": [], "circuit": []}
     for nrows, ncols, n_procs in CASES:
-        problem = plate_problem(nrows, ncols)
+        problem = build_scenario("plate", nrows=nrows, ncols=ncols)
         row = [n_procs, problem.n]
         for mode in ("software", "circuit"):
             machine = FiniteElementMachine(problem, n_procs, reduction=mode)

@@ -16,14 +16,10 @@ Shape targets (EXPERIMENTS.md quantifies each):
 """
 
 from repro.analysis import Table
-from repro.driver import mstep_coefficients
-from repro.machines import CyberMachine
 
 from _common import (
-    TABLE2_EPS,
     TABLE2_SCHEDULE,
-    cached_interval,
-    cached_plate,
+    cached_session,
     emit,
     run_once,
     table2_meshes,
@@ -31,13 +27,16 @@ from _common import (
 
 
 def solve_mesh(a: int) -> list[dict]:
-    problem = cached_plate(a)
-    interval = cached_interval(a)
-    machine = CyberMachine(problem)
+    """One mesh's 13 schedule cells — one batched lockstep simulator pass.
+
+    The compiled session drives :meth:`CyberMachine.solve_schedule`:
+    iteration counts, clocks and iterates are bitwise those of the
+    cell-at-a-time pass (pinned in tests/test_pipeline.py), at a fraction
+    of the wall time.
+    """
+    session = cached_session(a)
     rows = []
-    for m, parametrized in TABLE2_SCHEDULE:
-        coeffs = mstep_coefficients(m, parametrized, interval) if m else None
-        res = machine.solve(m, coeffs, eps=TABLE2_EPS)
+    for (m, _), res in zip(TABLE2_SCHEDULE, session.run_cyber_schedule()):
         rows.append(
             {
                 "label": res.label,
@@ -101,7 +100,7 @@ def test_cyber_matvec_kernel(benchmark):
 
     from repro.machines.vector import VectorMachine
 
-    machine = CyberMachine(cached_plate(20))
+    machine = cached_session(20).cyber()
     vm = VectorMachine(machine.timing)
     x = np.random.default_rng(0).normal(size=machine.n_padded)
 

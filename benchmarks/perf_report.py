@@ -64,6 +64,9 @@ from repro.multicolor import MStepSSOR  # noqa: E402
 #: Acceptance thresholds recorded alongside the measurements.
 TARGET_APPLY_P_INV_SPEEDUP = 5.0
 TARGET_TABLE2_SPEEDUP = 2.0
+#: The batched lockstep CYBER sweep must beat the cell-at-a-time pass by
+#: at least this factor (measured ~1.9× at a = 20).
+TARGET_CYBER_BATCHED_SPEEDUP = 1.3
 
 M_APPLY = 4  # the m used for preconditioner-application timings
 M_PCG = 3  # the m used for full-solve timings
@@ -165,6 +168,43 @@ def bench_table2_sweep(problem, blocked, repeats: int, eps: float) -> dict:
     return out
 
 
+def bench_cyber_schedule(problem, repeats: int, eps: float) -> dict:
+    """The CYBER Table-2 sweep: cell-at-a-time vs one batched lockstep pass.
+
+    Both passes share one compiled :class:`SolverSession` (same machine
+    layout, same cached kernels); the recorded ``speedup`` is the wall-time
+    win of :meth:`CyberMachine.solve_schedule` over per-cell ``solve``
+    calls.  Iteration counts are recorded per mode — the gate flags any
+    drift between them (they are bitwise identical by contract) or against
+    the baseline.
+    """
+    from repro.pipeline import SolverPlan, SolverSession
+
+    session = SolverSession(problem, plan=SolverPlan.table2(eps=eps))
+    iterations: dict[str, dict[str, int]] = {}
+
+    def run_schedule(batched: bool, key: str) -> None:
+        cells = iterations.setdefault(key, {})
+        for res in session.run_cyber_schedule(batched=batched):
+            assert res.converged
+            cells[res.label] = res.iterations
+
+    out = {
+        "percolumn_s": _time_call(
+            lambda: run_schedule(False, "percolumn"), repeats
+        ),
+        "batched_s": _time_call(lambda: run_schedule(True, "batched"), repeats),
+    }
+    if iterations["batched"] != iterations["percolumn"]:
+        raise AssertionError(
+            "batched and per-column CYBER sweeps disagree on iterations"
+        )
+    out["speedup"] = out["percolumn_s"] / out["batched_s"]
+    out["iterations"] = iterations
+    out["cells"] = len(TABLE2_SCHEDULE)
+    return out
+
+
 def build_report(
     meshes=(20, 41), repeats: int = 3, eps: float = 1e-6, table2_mesh: int | None = None
 ) -> dict:
@@ -181,6 +221,7 @@ def build_report(
         "mstep_apply": {},
         "pcg": {},
         "table2_sweep": {},
+        "cyber_schedule": {},
     }
     for a in meshes:
         problem = plate_problem(a)
@@ -193,11 +234,15 @@ def build_report(
             results["table2_sweep"][key] = bench_table2_sweep(
                 problem, blocked, repeats, eps
             )
+            results["cyber_schedule"][key] = bench_cyber_schedule(
+                problem, repeats, eps
+            )
 
     largest = f"a={max(meshes)}"
     table2_key = f"a={table2_mesh}"
     apply_speedup = results["apply_p_inv"][largest]["speedup"]
     table2_speedup = results["table2_sweep"][table2_key]["speedup"]
+    cyber_batched_speedup = results["cyber_schedule"][table2_key]["speedup"]
     return {
         "bench": "kernels",
         "created_unix": time.time(),
@@ -220,9 +265,12 @@ def build_report(
             "apply_p_inv_speedup": apply_speedup,
             "table2_speedup_min": TARGET_TABLE2_SPEEDUP,
             "table2_speedup": table2_speedup,
+            "cyber_batched_speedup_min": TARGET_CYBER_BATCHED_SPEEDUP,
+            "cyber_batched_speedup": cyber_batched_speedup,
             "met": bool(
                 apply_speedup >= TARGET_APPLY_P_INV_SPEEDUP
                 and table2_speedup >= TARGET_TABLE2_SPEEDUP
+                and cyber_batched_speedup >= TARGET_CYBER_BATCHED_SPEEDUP
             ),
         },
     }
@@ -246,7 +294,9 @@ def render(report: dict) -> str:
         f"  targets: apply_p_inv ≥{t['apply_p_inv_speedup_min']:.0f}× "
         f"(measured {t['apply_p_inv_speedup']:.1f}×), "
         f"table2 ≥{t['table2_speedup_min']:.0f}× "
-        f"(measured {t['table2_speedup']:.1f}×) — "
+        f"(measured {t['table2_speedup']:.1f}×), "
+        f"batched cyber sweep ≥{t['cyber_batched_speedup_min']:.1f}× "
+        f"(measured {t['cyber_batched_speedup']:.1f}×) — "
         + ("MET" if t["met"] else "NOT MET"),
     ]
     return "\n".join(lines)
@@ -290,7 +340,9 @@ def check_against_baseline(
             "absolute targets missed: apply_p_inv "
             f"{t['apply_p_inv_speedup']:.1f}× (need "
             f"≥{t['apply_p_inv_speedup_min']:g}×), table2 "
-            f"{t['table2_speedup']:.1f}× (need ≥{t['table2_speedup_min']:g}×)"
+            f"{t['table2_speedup']:.1f}× (need ≥{t['table2_speedup_min']:g}×), "
+            f"batched cyber sweep {t['cyber_batched_speedup']:.1f}× "
+            f"(need ≥{t['cyber_batched_speedup_min']:g}×)"
         )
     return failures
 

@@ -1,28 +1,26 @@
 #!/usr/bin/env python3
 """Finite Element Machine simulation: Table 3 plus machine internals.
 
-Solves the paper's 60-equation plate on 1, 2, and 5 simulated processors,
-printing iterations, simulated seconds, and speedups (Table 3), then shows
-what the abstract numbers are made of: the processor assignments
-(Figure 5), the local links in use (Figure 4), and the communication
-ledger (records and words per processor pair).
+Solves the paper's 60-equation plate on 1, 2, and 5 simulated processors
+through one compiled SolverSession — the machines share the session's
+blocked system and its cached preconditioner applicators — printing
+iterations, simulated seconds, and speedups (Table 3), then shows what
+the abstract numbers are made of: the processor assignments (Figure 5),
+the local links in use (Figure 4), and the communication ledger.
 
 Run:  python examples/fem_machine_simulation.py
 """
 
-from repro import plate_problem
+from repro import SolverPlan, SolverSession
 from repro.analysis import Table
-from repro.driver import build_blocked_system, mstep_coefficients, ssor_interval
-from repro.machines import FiniteElementMachine, speedup_table
+from repro.machines import speedup_table
 
 
 def main() -> None:
-    problem = plate_problem(6)
-    blocked = build_blocked_system(problem)
-    interval = ssor_interval(blocked)
-    machines = {
-        p: FiniteElementMachine(problem, p, blocked=blocked) for p in (1, 2, 5)
-    }
+    session = SolverSession.from_scenario(
+        "plate", plan=SolverPlan.table3(eps=1e-6), nrows=6
+    )
+    machines = {p: session.fem(p) for p in (1, 2, 5)}
 
     for p in (2, 5):
         print(f"--- {p}-processor assignment (Figure 5) ---")
@@ -34,12 +32,10 @@ def main() -> None:
         "Finite Element Machine, m-step SSOR PCG (paper Table 3)",
         ["m", "I", "T(P=1)", "T(P=2)", "speedup", "T(P=5)", "speedup"],
     )
-    for m, parametrized in [
-        (0, False), (1, False), (2, False), (2, True), (3, False),
-        (3, True), (4, False), (4, True), (5, True), (6, True),
-    ]:
-        coeffs = mstep_coefficients(m, parametrized, interval) if m else None
-        results = {p: machines[p].solve(m, coeffs, eps=1e-6) for p in (1, 2, 5)}
+    for m, parametrized in session.plan.schedule:
+        results = {
+            p: session.fem_solve(m, parametrized, n_procs=p) for p in (1, 2, 5)
+        }
         speedups = speedup_table(results)
         table.add_row(
             results[1].label,
@@ -59,8 +55,7 @@ def main() -> None:
         ["m", "compute s", "border-comm s", "reduction s", "flag s", "records"],
     )
     for m in (0, 3, 6):
-        coeffs = mstep_coefficients(m, True, interval) if m else None
-        r = machines[5].solve(m, coeffs, eps=1e-6)
+        r = session.fem_solve(m, True, n_procs=5)
         detail.add_row(
             r.label, r.compute_seconds, r.comm_seconds,
             r.reduction_seconds, r.flag_seconds, r.total_records,

@@ -17,30 +17,29 @@ Run:  python examples/irregular_region.py
 import numpy as np
 
 from repro.analysis import Table
-from repro.driver import build_blocked_system, solve_mstep_ssor, ssor_interval
-from repro.fem import l_shaped_problem
+from repro import SolverPlan, SolverSession
 from repro.fem.stress import nodal_stresses, von_mises
+
+SCHEDULE = [(0, False), (1, False), (2, False), (2, True), (4, True), (6, True)]
 
 
 def main() -> None:
-    problem = l_shaped_problem(13, notch_fraction=0.5)
+    session = SolverSession.from_scenario(
+        "lshape", plan=SolverPlan(schedule=SCHEDULE, eps=1e-8),
+        a=13, notch_fraction=0.5,
+    )
+    problem = session.problem
     print("L-shaped domain ('x' clamped, '#' active, '.' removed):")
     print(problem.domain_ascii())
     print(f"\n{problem.n} unknowns, greedy coloring found "
           f"{problem.n_groups} color groups\n")
 
-    blocked = build_blocked_system(problem)
-    interval = ssor_interval(blocked)
     table = Table(
         "m-step SSOR PCG on the L-shaped plate",
         ["m", "iterations", "‖r‖∞"],
     )
     best = None
-    for m, par in [(0, False), (1, False), (2, False), (2, True), (4, True), (6, True)]:
-        solve = solve_mstep_ssor(
-            problem, m, parametrized=par, interval=interval,
-            blocked=blocked, eps=1e-8,
-        )
+    for solve in session.execute():
         resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
         table.add_row(solve.label, solve.iterations, resid)
         best = solve

@@ -16,9 +16,8 @@ Run:  python examples/plane_stress_plate.py
 
 import numpy as np
 
-from repro import ElasticMaterial, plate_problem, solve_mstep_ssor
+from repro import ElasticMaterial, SolverPlan, SolverSession, build_scenario
 from repro.analysis import Table
-from repro.driver import build_blocked_system, ssor_interval
 
 
 def tip_displacement(problem, u: np.ndarray) -> float:
@@ -38,16 +37,15 @@ def main() -> None:
         "Plate refinement study (uniform x-traction, E=1, ν=0.3)",
         ["a (rows)", "unknowns", "CG iters", "3-step iters", "4P iters", "tip ux"],
     )
+    plan = SolverPlan(
+        schedule=[(0, False), (3, False), (4, True)], eps=1e-7
+    )
     for a in (6, 10, 14, 20):
-        problem = plate_problem(a, material=material)
-        blocked = build_blocked_system(problem)
-        interval = ssor_interval(blocked)
-        base = solve_mstep_ssor(problem, 0, blocked=blocked, eps=1e-7)
-        three = solve_mstep_ssor(problem, 3, blocked=blocked, eps=1e-7)
-        fitted = solve_mstep_ssor(
-            problem, 4, parametrized=True, interval=interval,
-            blocked=blocked, eps=1e-7,
+        session = SolverSession.from_scenario(
+            "plate", plan=plan, nrows=a, material=material
         )
+        problem = session.problem
+        base, three, fitted = session.execute()
         table.add_row(
             a,
             problem.n,
@@ -61,8 +59,9 @@ def main() -> None:
 
     # Simple post-processing: reaction check — total applied load equals the
     # x-reaction transmitted through any vertical cut (equilibrium).
-    problem = plate_problem(10, material=material)
-    solve = solve_mstep_ssor(problem, 3, eps=1e-9)
+    problem = build_scenario("plate", nrows=10, material=material)
+    session = SolverSession(problem, plan=SolverPlan.single(3, eps=1e-9))
+    solve = session.solve_cell(3)
     applied = float(problem.f.sum())
     internal = float(problem.f @ solve.u)  # work done by the load
     print(f"\napplied load resultant: {applied:.6f}")

@@ -4,8 +4,8 @@
 The paper notes Algorithm 2 "can easily be modified to solve problems whose
 domains are discretized by more complicated finite elements or finite
 differences as long as a multicolor ordering is used."  This example runs
-the identical code path — multicolor ordering, blocked system, m-step SSOR
-PCG — on the 5-point Poisson problem, whose multicolor ordering is the
+the identical code path — scenario registry, solver plan, compiled session
+— on the 5-point Poisson problem, whose multicolor ordering is the
 classical red/black checkerboard (two colors instead of six).
 
 Run:  python examples/poisson_redblack.py
@@ -13,17 +13,20 @@ Run:  python examples/poisson_redblack.py
 
 import numpy as np
 
-from repro import poisson_problem, solve_mstep_ssor
+from repro import SolverPlan, SolverSession, build_scenario
 from repro.analysis import Table
-from repro.driver import build_blocked_system, ssor_interval
 from repro.multicolor import greedy_multicolor
+
+SCHEDULE = [(0, False), (1, False), (2, False), (2, True), (4, True), (6, True)]
 
 
 def main() -> None:
     for n in (16, 32):
-        problem = poisson_problem(n)
-        blocked = build_blocked_system(problem)
-        interval = ssor_interval(blocked)
+        session = SolverSession.from_scenario(
+            "poisson", plan=SolverPlan(schedule=SCHEDULE, eps=1e-8), n_grid=n
+        )
+        problem = session.problem
+        interval = session.interval
         print(f"Poisson {n}×{n}: {problem.n} unknowns, "
               f"2 colors, spectrum of P⁻¹K ⊂ [{interval[0]:.4f}, {interval[1]:.4f}]")
 
@@ -31,13 +34,7 @@ def main() -> None:
             f"red/black m-step SSOR PCG, {n}×{n} Poisson",
             ["m", "iterations", "‖r‖∞"],
         )
-        for m, parametrized in [
-            (0, False), (1, False), (2, False), (2, True), (4, True), (6, True),
-        ]:
-            solve = solve_mstep_ssor(
-                problem, m, parametrized=parametrized,
-                interval=interval, blocked=blocked, eps=1e-8,
-            )
+        for solve in session.execute():
             table.add_row(
                 solve.label,
                 solve.iterations,
@@ -48,7 +45,7 @@ def main() -> None:
 
     # The greedy coloring fallback (for irregular regions — the paper's
     # concluding open problem) discovers the two-coloring by itself.
-    problem = poisson_problem(12)
+    problem = build_scenario("poisson", n_grid=12)
     colors = greedy_multicolor(problem.k)
     print(f"greedy coloring found {colors.max() + 1} colors "
           f"(red/black rediscovered)")

@@ -19,7 +19,7 @@ Run:  python examples/polynomial_preconditioners.py
 
 import numpy as np
 
-from repro import plate_problem
+from repro import build_scenario
 from repro.analysis import Table, ascii_plot
 from repro.core import (
     JacobiSplitting,
@@ -43,7 +43,7 @@ def coefficient_sets(m: int, interval) -> dict[str, np.ndarray]:
 
 
 def main() -> None:
-    problem = plate_problem(6)
+    problem = build_scenario("plate", nrows=6)
     k, f = problem.k, problem.f
     m = 4
 

@@ -2,43 +2,40 @@
 """Quickstart: the m-step SSOR preconditioned CG method in five lines.
 
 Builds the paper's 60-equation plane-stress plate (6 rows × 6 columns of
-nodes, left edge fixed, right edge loaded), then solves it with plain CG
-and with the m-step multicolor SSOR preconditioner — unparametrized and
-parametrized — printing the iteration counts that Table 3's I column
-reports.
+nodes, left edge fixed, right edge loaded) from the scenario registry,
+compiles a solver plan against it once — coloring, blocked system,
+spectrum, cached kernels — and executes the full Table-3 m-schedule
+against that compiled state, printing the iteration counts that Table 3's
+I column reports.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import plate_problem, solve_mstep_ssor
+from repro import SolverPlan, SolverSession
 from repro.analysis import Table
-from repro.driver import build_blocked_system, ssor_interval
 
 
 def main() -> None:
-    problem = plate_problem(6)
+    # plan → compile → execute: one session serves every schedule cell.
+    session = SolverSession.from_scenario(
+        "plate", plan=SolverPlan.table3(eps=1e-6), nrows=6
+    )
+    problem = session.problem
     print(f"Problem: {problem.mesh}")
     print(f"Coloring (Figure 1):\n{problem.mesh.coloring_ascii()}\n")
 
-    # Reusable pieces: the blocked color system and the spectrum of P⁻¹K.
-    blocked = build_blocked_system(problem)
-    interval = ssor_interval(blocked)
-    print(f"spectrum of P⁻¹K: [{interval[0]:.4f}, {interval[1]:.4f}]\n")
+    session.compile()
+    interval = session.interval
+    print(f"spectrum of P⁻¹K: [{interval[0]:.4f}, {interval[1]:.4f}]")
+    print(f"compiled once: {session.stats.compile_counts()}\n")
 
     table = Table(
         "m-step SSOR PCG on the 60-equation plate (paper Table 3, I column)",
         ["m", "iterations", "inner products", "residual"],
     )
-    for m, parametrized in [
-        (0, False), (1, False), (2, False), (2, True), (3, False),
-        (3, True), (4, False), (4, True), (5, True), (6, True),
-    ]:
-        solve = solve_mstep_ssor(
-            problem, m, parametrized=parametrized,
-            interval=interval, blocked=blocked, eps=1e-6,
-        )
+    for solve in session.execute():
         residual = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
         table.add_row(
             solve.label,

@@ -24,6 +24,12 @@ Package map
                       Machine with calibrated cost models (Sections 3–4).
 ``repro.analysis``    The performance model (4.1)/(4.2) and reporting.
 ``repro.driver``      One-call m-step multicolor SSOR PCG solves.
+``repro.pipeline``    The plan → compile → execute pipeline: the scenario
+                      registry (``ProblemSpec``), declarative solve plans
+                      (``SolverPlan``), and compiled sessions
+                      (``SolverSession``) serving many schedule cells and
+                      right-hand sides — including batched lockstep
+                      machine-simulator sweeps.
 """
 
 from repro.core import (
@@ -53,10 +59,20 @@ from repro.driver import (
 from repro.fem import (
     ElasticMaterial,
     PlateMesh,
+    anisotropic_problem,
     plate_problem,
     poisson_problem,
+    variable_plate_problem,
 )
 from repro.multicolor import BlockedMatrix, MStepSSOR, MulticolorOrdering
+from repro.pipeline import (
+    ProblemSpec,
+    SolverPlan,
+    SolverSession,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -83,10 +99,18 @@ __all__ = [
     "ssor_interval",
     "ElasticMaterial",
     "PlateMesh",
+    "anisotropic_problem",
     "plate_problem",
     "poisson_problem",
+    "variable_plate_problem",
     "BlockedMatrix",
     "MStepSSOR",
     "MulticolorOrdering",
+    "ProblemSpec",
+    "SolverPlan",
+    "SolverSession",
+    "available_scenarios",
+    "build_scenario",
+    "register_scenario",
     "__version__",
 ]

@@ -44,23 +44,97 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PerformanceModel:
-    """Measured per-iteration costs: ``T_m = (A + m·B)·N_m``."""
+    """Measured per-iteration costs: ``T_m = (A + m·B)·N_m``.
+
+    The block-width extension (PR 3): on the simulated machines one
+    preconditioner step over an ``(n, width)`` block of right-hand sides
+    costs less than ``width`` separate steps — the fixed per-step work
+    (pipeline startups on the CYBER, per-color-phase setup and per-record
+    link latency on the Finite Element Machine) is paid once per
+    color-block operation.  ``b_marginal`` is the cost of each
+    *additional* right-hand side inside a step, so
+
+        ``step_cost(width) = b + (width − 1)·b_marginal``
+
+    with ``b_marginal = b`` (no amortization) when not given.  All
+    width-1 behavior — ``predicted_time(m, n_m)``, ``b_over_a`` — is
+    unchanged.
+    """
 
     a: float  # one outer CG iteration
-    b: float  # one preconditioner step
+    b: float  # one preconditioner step (width 1)
+    b_marginal: float | None = None  # per-extra-RHS step cost inside a block
 
     def __post_init__(self) -> None:
         require(self.a > 0, "A must be positive")
         require(self.b >= 0, "B must be non-negative")
+        require(
+            self.b_marginal is None or 0 <= self.b_marginal <= self.b,
+            "the marginal step cost must lie in [0, B]",
+        )
+
+    @classmethod
+    def from_fem_machine(cls, machine, m: int = 1) -> "PerformanceModel":
+        """Calibrate (A, B, B_marginal) from a simulated machine.
+
+        ``machine`` is a :class:`~repro.machines.FiniteElementMachine`
+        (anything with ``iteration_costs`` and
+        ``preconditioner_block_seconds``).  The marginal cost is the exact
+        width-derivative of the machine's block cost model — one extra
+        right-hand side's flops and link words, with the per-phase setup
+        and per-record latency already paid.
+        """
+        a, b = machine.iteration_costs(m)
+        b_width2 = machine.preconditioner_block_seconds(1, 2)
+        return cls(a=a, b=b, b_marginal=b_width2 - b)
 
     @property
     def b_over_a(self) -> float:
         return self.b / self.a
 
-    def predicted_time(self, m: int, n_m: float) -> float:
-        """(4.1) for a given iteration count."""
+    @property
+    def amortizes(self) -> bool:
+        """Whether the model carries block-width (batched-RHS) information."""
+        return self.b_marginal is not None and self.b_marginal < self.b
+
+    def step_cost(self, width: int = 1) -> float:
+        """One preconditioner step on an ``(n, width)`` block."""
+        require(width >= 1, "width must be at least 1")
+        if width == 1:
+            return self.b
+        marginal = self.b_marginal if self.b_marginal is not None else self.b
+        return self.b + (width - 1) * marginal
+
+    def b_over_a_at(self, width: int = 1) -> float:
+        """Effective per-right-hand-side ``B/A`` for a width-wide block.
+
+        The outer iteration's A is charged per right-hand side while the
+        preconditioner step amortizes, so batching moves the (4.2)
+        decision toward more steps.
+        """
+        return (self.step_cost(width) / width) / self.a
+
+    def predicted_time(self, m: int, n_m: float, width: int = 1) -> float:
+        """(4.1) for a given iteration count.
+
+        ``width > 1`` prices a batch of ``width`` right-hand sides
+        advancing in lockstep: ``(A·width + m·step_cost(width))·N_m``.
+        ``width = 1`` is exactly the paper's model.
+        """
         require(m >= 0, "m must be non-negative")
-        return (self.a + m * self.b) * n_m
+        if width == 1:
+            return (self.a + m * self.b) * n_m
+        return (self.a * width + m * self.step_cost(width)) * n_m
+
+    def preconditioner_block_time(self, m: int, width: int = 1) -> float:
+        """Modeled seconds of one batched m-step application.
+
+        Mirrors :meth:`repro.machines.FiniteElementMachine
+        .preconditioner_block_seconds` — the test-suite pins the two to
+        each other across widths when the model is machine-calibrated.
+        """
+        require(m >= 1, "m must be at least 1")
+        return m * self.step_cost(width)
 
 
 @dataclass(frozen=True)
@@ -74,6 +148,7 @@ class Inequality42:
     condition_1: bool
     threshold: float  # right side of inequality (2); inf when (1) already holds
     beneficial: bool
+    width: int = 1  # right-hand-side block width the decision was priced at
 
     def sides(self) -> tuple[float, float]:
         """(left, right) of inequality (2) — the pairs the paper prints."""
@@ -81,11 +156,19 @@ class Inequality42:
 
 
 def inequality_42(
-    m: int, n_m: int, n_m_plus_1: int, model: PerformanceModel
+    m: int, n_m: int, n_m_plus_1: int, model: PerformanceModel, width: int = 1
 ) -> Inequality42:
-    """Evaluate (4.2): is m+1 steps better than m steps?"""
+    """Evaluate (4.2): is m+1 steps better than m steps?
+
+    ``width > 1`` evaluates the decision for a batch of ``width``
+    right-hand sides advancing together: the effective per-RHS step cost
+    is ``step_cost(width)/width`` (the fixed per-step setup amortizes
+    across the block — :meth:`PerformanceModel.b_over_a_at`), so batching
+    lowers ``B/A`` and pushes the break-even toward larger m.
+    """
     require(m >= 0, "m must be non-negative")
     require(n_m > 0 and n_m_plus_1 > 0, "iteration counts must be positive")
+    b_over_a = model.b_over_a_at(width)
     inner_loops_delta = (m + 1) * n_m_plus_1 - m * n_m
     condition_1 = inner_loops_delta < 0
     if condition_1:
@@ -98,15 +181,16 @@ def inequality_42(
         beneficial = n_m_plus_1 < n_m
     else:
         threshold = (n_m - n_m_plus_1) / inner_loops_delta
-        beneficial = model.b_over_a < threshold
+        beneficial = b_over_a < threshold
     return Inequality42(
         m=m,
         n_m=n_m,
         n_m_plus_1=n_m_plus_1,
-        b_over_a=model.b_over_a,
+        b_over_a=b_over_a,
         condition_1=condition_1,
         threshold=threshold,
         beneficial=beneficial,
+        width=width,
     )
 
 

@@ -1,18 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Regenerates the paper's artifacts and runs one-off solves without writing
-any code:
+any code, all driven through the plan → compile → execute pipeline:
 
 ```
 python -m repro table1                      # α values (exact reproduction)
+python -m repro table2 --meshes 20,41       # CYBER Table 2 (batched sweep)
 python -m repro table3                      # Finite Element Machine table
 python -m repro fig1 --rows 6 --cols 6      # plate coloring
 python -m repro solve --rows 20 --m 4 -P    # one m-step SSOR PCG solve
+python -m repro solve --scenario anisotropic --rows 24 --m 4 -P
 python -m repro cyber --rows 20 --m 5 -P    # one simulated CYBER solve
 python -m repro recommend --rows 20 --b-over-a 0.7
+python -m repro scenarios                   # the ProblemSpec registry
 ```
 
-(The heavyweight Table-2 sweep lives in ``benchmarks/bench_table2.py``.)
+``solve``/``cyber``/``table2`` accept ``--backend vectorized|reference``
+(the kernel dispatch of :mod:`repro.kernels`); ``solve`` and ``recommend``
+accept any registered ``--scenario``, with ``--rows`` mapped onto the
+scenario's own size parameter.
 """
 
 from __future__ import annotations
@@ -23,6 +29,30 @@ import sys
 import numpy as np
 
 __all__ = ["main"]
+
+
+def _build_session(args, schedule=None):
+    """A compiled SolverSession for the requested scenario and plan."""
+    from repro.pipeline import SolverPlan, SolverSession, scenario
+
+    spec = scenario(getattr(args, "scenario", "plate"))
+    params = {}
+    if spec.size_param is not None and getattr(args, "rows", None):
+        params[spec.size_param] = args.rows
+    if spec.size_param == "nrows" and getattr(args, "cols", None):
+        params["ncols"] = args.cols
+    plan_kwargs = {
+        "eps": getattr(args, "eps", 1e-6),
+        "backend": getattr(args, "backend", None),
+    }
+    if schedule is not None:
+        plan = SolverPlan(schedule=schedule, **plan_kwargs)
+    else:
+        plan = SolverPlan.single(
+            getattr(args, "m", 0), getattr(args, "parametrized", False),
+            **plan_kwargs,
+        )
+    return SolverSession(spec.build(**params), plan=plan)
 
 
 def _cmd_table1(args) -> int:
@@ -50,30 +80,15 @@ def _cmd_table1(args) -> int:
     return 0
 
 
-def _build_plate(args):
-    from repro import plate_problem
-    from repro.driver import build_blocked_system, ssor_interval
-
-    problem = plate_problem(args.rows, ncols=args.cols)
-    blocked = build_blocked_system(problem)
-    interval = ssor_interval(blocked) if args.parametrized else None
-    return problem, blocked, interval
-
-
 def _cmd_solve(args) -> int:
-    from repro.driver import solve_mstep_ssor
-
-    problem, blocked, interval = _build_plate(args)
-    solve = solve_mstep_ssor(
-        problem,
-        args.m,
-        parametrized=args.parametrized,
-        interval=interval,
-        blocked=blocked,
-        eps=args.eps,
-    )
+    session = _build_session(args)
+    problem = session.problem
+    solve = session.solve_cell(args.m, args.parametrized)
     resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
-    print(f"problem : {problem.mesh}")
+    desc = getattr(problem, "mesh", None)
+    if desc is None:
+        desc = f"{type(problem).__name__}(n={problem.n})"
+    print(f"problem : {desc}")
     print(f"method  : m = {solve.label} ({solve.result.stop_rule})")
     print(f"iterations: {solve.iterations}  converged: {solve.result.converged}")
     print(f"‖f − K u‖∞: {resid:.3e}")
@@ -82,44 +97,83 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_cyber(args) -> int:
-    from repro.driver import mstep_coefficients
-    from repro.machines import CyberMachine
-
-    problem, _, interval = _build_plate(args)
-    machine = CyberMachine(problem)
-    coeffs = (
-        mstep_coefficients(args.m, args.parametrized, interval)
-        if args.m
-        else None
-    )
-    res = machine.solve(args.m, coeffs, eps=args.eps)
-    print(f"CYBER 203 simulation: {problem.mesh} (v = {res.max_vector_length})")
+    session = _build_session(args)
+    machine = session.cyber()
+    coeffs = session.coefficients(args.m, args.parametrized) if args.m else None
+    res = machine.solve(args.m, coeffs, eps=args.eps, backend=args.backend)
+    print(f"CYBER 203 simulation: {session.problem.mesh} "
+          f"(v = {res.max_vector_length})")
     print(f"m = {res.label}: I = {res.iterations}, T = {res.seconds:.4f} s")
     print(f"preconditioner share: {res.preconditioner_seconds / res.seconds:.1%}"
           if res.seconds else "")
     return 0 if res.converged else 1
 
 
+def _cmd_table2(args) -> int:
+    from repro.analysis import Table
+    from repro.pipeline import SolverPlan, SolverSession, build_scenario
+
+    try:
+        meshes = [int(tok) for tok in args.meshes.split(",") if tok.strip()]
+    except ValueError:
+        print(f"--meshes must be comma-separated integers, got {args.meshes!r}",
+              file=sys.stderr)
+        return 2
+    if not meshes:
+        print("--meshes needs at least one plate size", file=sys.stderr)
+        return 2
+
+    # The reference backend has no batched sweep; the session then runs
+    # cell-at-a-time regardless of --per-column, so derive the banner from
+    # the path actually taken.
+    batched = not args.per_column and args.backend != "reference"
+    per_mesh = {}
+    all_converged = True
+    for a in meshes:
+        session = SolverSession(
+            build_scenario("plate", nrows=a),
+            plan=SolverPlan.table2(eps=args.eps, backend=args.backend),
+        )
+        results = session.run_cyber_schedule(batched=batched)
+        all_converged &= all(r.converged for r in results)
+        per_mesh[a] = results
+
+    columns = ["m"]
+    for a in meshes:
+        v = per_mesh[a][0].max_vector_length
+        columns += [f"I(a={a})", f"T(v={v})"]
+    mode = "one batched simulator pass" if batched else "per-column pass"
+    table = Table(
+        "Table 2 — CYBER 203 iterations and simulated timings, "
+        f"m-step SSOR PCG ({mode})",
+        columns,
+    )
+    for i in range(len(per_mesh[meshes[0]])):
+        row = [per_mesh[meshes[0]][i].label]
+        for a in meshes:
+            row += [per_mesh[a][i].iterations, per_mesh[a][i].seconds]
+        table.add_row(*row)
+    table.add_note("T = simulated seconds (calibrated CYBER 203 cost model)")
+    table.add_note("paper m=0 row: I = 271, 536, 788, 929 for a = 20, 41, 62, 80")
+    print(table.render())
+    return 0 if all_converged else 1
+
+
 def _cmd_table3(args) -> int:
     from repro.analysis import Table
-    from repro.driver import mstep_coefficients, ssor_interval, build_blocked_system
-    from repro import plate_problem
-    from repro.machines import FiniteElementMachine, speedup_table
+    from repro.driver import TABLE3_SCHEDULE
+    from repro.machines import speedup_table
+    from repro.pipeline import SolverPlan, SolverSession, build_scenario
 
-    problem = plate_problem(6)
-    blocked = build_blocked_system(problem)
-    interval = ssor_interval(blocked)
-    machines = {
-        p: FiniteElementMachine(problem, p, blocked=blocked) for p in (1, 2, 5)
-    }
+    session = SolverSession(
+        build_scenario("plate", nrows=6), plan=SolverPlan.table3()
+    )
     table = Table(
         "Finite Element Machine (Table 3)",
         ["m", "I", "T(P=1)", "T(P=2)", "su", "T(P=5)", "su"],
     )
-    for m, par in [(0, False), (1, False), (2, False), (2, True), (3, False),
-                   (3, True), (4, False), (4, True), (5, True), (6, True)]:
-        coeffs = mstep_coefficients(m, par, interval) if m else None
-        res = {p: machines[p].solve(m, coeffs) for p in (1, 2, 5)}
+    for m, par in TABLE3_SCHEDULE:
+        res = {p: session.fem_solve(m, par, n_procs=p) for p in (1, 2, 5)}
         su = speedup_table(res)
         table.add_row(res[1].label, res[1].iterations, res[1].seconds,
                       res[2].seconds, su[2], res[5].seconds, su[5])
@@ -143,12 +197,13 @@ def _cmd_recommend(args) -> int:
     from repro.analysis import PerformanceModel, Table
     from repro.core.autotune import recommend_m
 
-    _, _, interval = _build_plate(args)
+    session = _build_session(args)
+    interval = session.interval
     model = PerformanceModel(a=1.0, b=args.b_over_a)
     rec = recommend_m(interval, model, m_max=args.m_max)
     table = Table(
         f"Model-predicted cost (A = 1, B/A = {args.b_over_a}) on the "
-        f"a = {args.rows} plate",
+        f"{args.scenario} scenario (rows = {args.rows})",
         ["m", "κ bound", "(A+mB)·√κ"],
     )
     for m in sorted(rec.scores):
@@ -158,16 +213,50 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    from repro.analysis import Table
+    from repro.pipeline import available_scenarios
+
+    table = Table(
+        "Registered scenarios (repro.pipeline.problems)",
+        ["name", "defaults", "description"],
+    )
+    for spec in available_scenarios():
+        defaults = ", ".join(f"{k}={v}" for k, v in spec.defaults.items())
+        table.add_row(spec.name, defaults or "—", spec.description)
+    table.add_note("build with build_scenario(name, **overrides) or "
+                   "`repro solve --scenario <name>`")
+    print(table.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.driver import TABLE2_EPS
+    from repro.kernels import BACKENDS
+    from repro.pipeline import available_scenarios
+
+    scenario_names = [spec.name for spec in available_scenarios()]
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Adams (1983) m-step preconditioned CG — reproduction CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_plate_args(p, with_m=True):
+    def add_backend_arg(p):
+        p.add_argument(
+            "--backend", choices=list(BACKENDS), default=None,
+            help="kernel backend for the numerics (default: vectorized)",
+        )
+
+    def add_plate_args(p, with_m=True, with_scenario=False):
         p.add_argument("--rows", type=int, default=20, help="rows of nodes (a)")
         p.add_argument("--cols", type=int, default=None, help="columns (default a)")
+        if with_scenario:
+            p.add_argument(
+                "--scenario", choices=scenario_names, default="plate",
+                help="registered scenario to build (--rows maps onto its "
+                "size parameter)",
+            )
         if with_m:
             p.add_argument("--m", type=int, default=3, help="preconditioner steps")
             p.add_argument(
@@ -177,36 +266,54 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--eps", type=float, default=1e-6, help="‖Δu‖∞ tolerance")
 
     sub.add_parser("table1", help="Table 1 α values (exact reproduction)")
+
+    p_table2 = sub.add_parser(
+        "table2", help="CYBER Table 2 (batched simulator sweep)"
+    )
+    p_table2.add_argument(
+        "--meshes", default="20,41",
+        help="comma-separated plate sizes a (paper: 20,41,62,80)",
+    )
+    p_table2.add_argument("--eps", type=float, default=TABLE2_EPS,
+                          help="‖Δu‖∞ tolerance")
+    p_table2.add_argument(
+        "--per-column", action="store_true",
+        help="run cell-at-a-time instead of the batched lockstep pass "
+        "(identical results, slower)",
+    )
+    add_backend_arg(p_table2)
+
     sub.add_parser("table3", help="Finite Element Machine table")
     p_solve = sub.add_parser("solve", help="one m-step SSOR PCG solve")
-    add_plate_args(p_solve)
+    add_plate_args(p_solve, with_scenario=True)
+    add_backend_arg(p_solve)
     p_cyber = sub.add_parser("cyber", help="one simulated CYBER 203 solve")
     add_plate_args(p_cyber)
+    add_backend_arg(p_cyber)
     p_fig1 = sub.add_parser("fig1", help="plate coloring (Figure 1)")
     add_plate_args(p_fig1, with_m=False)
     p_rec = sub.add_parser("recommend", help="model-based m recommendation")
-    add_plate_args(p_rec, with_m=False)
+    add_plate_args(p_rec, with_m=False, with_scenario=True)
     p_rec.add_argument("--b-over-a", type=float, default=0.7,
                        help="preconditioner-step to CG-iteration cost ratio")
     p_rec.add_argument("--m-max", type=int, default=10)
-    p_rec.add_argument("--parametrized", action="store_true", default=True,
-                       help=argparse.SUPPRESS)
+    sub.add_parser("scenarios", help="list the ProblemSpec registry")
 
     args = parser.parse_args(argv)
     handlers = {
         "table1": _cmd_table1,
+        "table2": _cmd_table2,
         "table3": _cmd_table3,
         "solve": _cmd_solve,
         "cyber": _cmd_cyber,
         "fig1": _cmd_fig1,
         "recommend": _cmd_recommend,
+        "scenarios": _cmd_scenarios,
     }
-    if args.command in ("solve", "cyber") and not hasattr(args, "parametrized"):
+    if not hasattr(args, "parametrized"):
         args.parametrized = False
-    if args.command in ("fig1",):
-        args.parametrized = False
-    if args.command == "recommend":
-        args.parametrized = True
+    if not hasattr(args, "scenario"):
+        args.scenario = "plate"
     return handlers[args.command](args)
 
 

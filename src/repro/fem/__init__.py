@@ -21,10 +21,13 @@ from repro.fem.irregular import (
 )
 from repro.fem.mesh import COLOR_NAMES, PlateMesh
 from repro.fem.model_problems import (
+    AnisotropicProblem,
     PlateProblem,
     PoissonProblem,
+    anisotropic_problem,
     plate_problem,
     poisson_problem,
+    variable_plate_problem,
 )
 from repro.fem.plane_stress import (
     ElasticMaterial,
@@ -46,8 +49,11 @@ __all__ = [
     "cst_stiffness",
     "PlateProblem",
     "PoissonProblem",
+    "AnisotropicProblem",
     "plate_problem",
+    "variable_plate_problem",
     "poisson_problem",
+    "anisotropic_problem",
     "IrregularProblem",
     "l_shaped_problem",
     "perforated_problem",

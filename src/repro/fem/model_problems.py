@@ -2,12 +2,19 @@
 
 * :func:`plate_problem` — the paper's plane-stress plate (Section 3): the
   primary workload for Tables 2 and 3.
+* :func:`variable_plate_problem` — the same plate with a spatially varying
+  Young's modulus (graded stiffness or a soft/hard inclusion): the
+  multicolor structure is value-blind, so the identical machinery runs on
+  heterogeneous material.
 * :func:`poisson_problem` — a 5-point Laplacian with the classical red/black
   two-coloring: a secondary workload exercising the same multicolor
   machinery with a different color count, as the paper notes Algorithm 2
   "can easily be modified" to other discretizations.
+* :func:`anisotropic_problem` — the anisotropic stencil
+  ``−ε·u_xx − u_yy = g``: same red/black coloring, a much harder spectrum
+  as ε → 0 (the classic stress test for polynomial preconditioners).
 
-Both return the system ``K u = f``, the unknown→color-group map that the
+All return the system ``K u = f``, the unknown→color-group map that the
 multicolor package consumes, and human-readable group labels.
 """
 
@@ -23,7 +30,15 @@ from repro.fem.mesh import PlateMesh
 from repro.fem.plane_stress import ElasticMaterial, assemble_plate
 from repro.util import require
 
-__all__ = ["PlateProblem", "PoissonProblem", "plate_problem", "poisson_problem"]
+__all__ = [
+    "PlateProblem",
+    "PoissonProblem",
+    "AnisotropicProblem",
+    "plate_problem",
+    "variable_plate_problem",
+    "poisson_problem",
+    "anisotropic_problem",
+]
 
 
 @dataclass(frozen=True)
@@ -39,6 +54,11 @@ class PlateProblem:
     material: ElasticMaterial
     k: sp.csr_matrix
     f: np.ndarray
+    #: Optional per-triangle stiffness multiplier (a spatially varying
+    #: Young's modulus).  ``None`` means homogeneous material; consumers
+    #: that reassemble the full padded system (the CYBER simulator) must
+    #: thread it through so their matrix matches ``k``.
+    element_scale: np.ndarray | None = None
 
     GROUP_LABELS = ("Ru", "Rv", "Bu", "Bv", "Gu", "Gv")
 
@@ -90,6 +110,54 @@ def plate_problem(
     return PlateProblem(mesh=mesh, material=material, k=k, f=f)
 
 
+def variable_plate_problem(
+    nrows: int,
+    ncols: int | None = None,
+    material: ElasticMaterial | None = None,
+    contrast: float = 8.0,
+    pattern: str = "graded",
+    traction_x: float = 1.0,
+    traction_y: float = 0.0,
+) -> PlateProblem:
+    """The plate with a spatially varying Young's modulus.
+
+    The multicolor ordering depends only on the mesh graph, never on the
+    coefficient values, so the heterogeneous plate runs through the
+    identical R/B/G machinery — what changes is the spectrum the m-step
+    preconditioner has to tame.
+
+    ``pattern``
+        ``"graded"`` — stiffness grows linearly from 1 at the constrained
+        edge to ``contrast`` at the loaded edge; ``"inclusion"`` — a
+        centered circular inclusion (radius 0.25 of the width) ``contrast``
+        times stiffer than the surrounding plate.
+    """
+    require(contrast > 0, "stiffness contrast must be positive")
+    require(pattern in ("graded", "inclusion"),
+            "pattern must be 'graded' or 'inclusion'")
+    ncols = nrows if ncols is None else ncols
+    mesh = PlateMesh(nrows=nrows, ncols=ncols)
+    material = material or ElasticMaterial()
+
+    coords = mesh.coordinates
+    centroids = coords[mesh.triangles].mean(axis=1)  # (n_tri, 2)
+    if pattern == "graded":
+        x = centroids[:, 0] / mesh.width
+        element_scale = 1.0 + (contrast - 1.0) * x
+    else:
+        center = np.array([0.5 * mesh.width, 0.5 * mesh.height])
+        radius = 0.25 * mesh.width
+        inside = np.linalg.norm(centroids - center, axis=1) < radius
+        element_scale = np.where(inside, contrast, 1.0)
+
+    k, f = assemble_plate(
+        mesh, material, traction_x, traction_y, element_scale=element_scale
+    )
+    return PlateProblem(
+        mesh=mesh, material=material, k=k, f=f, element_scale=element_scale
+    )
+
+
 @dataclass(frozen=True)
 class PoissonProblem:
     """5-point Laplacian on an ``n × n`` interior grid with red/black colors."""
@@ -124,6 +192,31 @@ class PoissonProblem:
         return sp.linalg.spsolve(self.k.tocsc(), self.f)
 
 
+@dataclass(frozen=True)
+class AnisotropicProblem(PoissonProblem):
+    """Anisotropic 5-point stencil ``−ε·u_xx − u_yy`` (red/black colors)."""
+
+    epsilon: float = 1.0
+
+
+def _grid_rhs(n_grid: int, rhs: str) -> np.ndarray:
+    """Right-hand sides shared by the 5-point-stencil problems."""
+    if rhs == "ones":
+        return np.ones(n_grid * n_grid)
+    if rhs == "peak":
+        h = 1.0 / (n_grid + 1)
+        xs = np.linspace(h, 1.0 - h, n_grid)
+        xx, yy = np.meshgrid(xs, xs)
+        return np.exp(-50.0 * ((xx - 0.5) ** 2 + (yy - 0.5) ** 2)).ravel()
+    raise ValueError(f"unknown rhs kind {rhs!r}")
+
+
+def _laplacian_1d(n_grid: int) -> sp.csr_matrix:
+    main = 2.0 * np.ones(n_grid)
+    off = -np.ones(n_grid - 1)
+    return sp.diags([off, main, off], [-1, 0, 1], format="csr")
+
+
 def poisson_problem(n_grid: int, rhs: str = "ones") -> PoissonProblem:
     """Dirichlet Poisson problem ``−Δu = g`` on the unit square.
 
@@ -139,18 +232,31 @@ def poisson_problem(n_grid: int, rhs: str = "ones") -> PoissonProblem:
     """
     require(n_grid >= 2, "need at least a 2×2 interior grid")
     h = 1.0 / (n_grid + 1)
-    main = 2.0 * np.ones(n_grid)
-    off = -np.ones(n_grid - 1)
-    t = sp.diags([off, main, off], [-1, 0, 1], format="csr")
+    t = _laplacian_1d(n_grid)
     eye = sp.identity(n_grid, format="csr")
     k = ((sp.kron(eye, t) + sp.kron(t, eye)) / (h * h)).tocsr()
+    return PoissonProblem(n_grid=n_grid, k=k, f=_grid_rhs(n_grid, rhs))
 
-    xs = np.linspace(h, 1.0 - h, n_grid)
-    xx, yy = np.meshgrid(xs, xs)
-    if rhs == "ones":
-        g = np.ones(n_grid * n_grid)
-    elif rhs == "peak":
-        g = np.exp(-50.0 * ((xx - 0.5) ** 2 + (yy - 0.5) ** 2)).ravel()
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unknown rhs kind {rhs!r}")
-    return PoissonProblem(n_grid=n_grid, k=k, f=g)
+
+def anisotropic_problem(
+    n_grid: int, epsilon: float = 0.1, rhs: str = "ones"
+) -> AnisotropicProblem:
+    """Anisotropic Dirichlet problem ``−ε·u_xx − u_yy = g``.
+
+    The sparsity pattern — and hence the red/black multicolor ordering —
+    is exactly the 5-point Laplacian's; only the weights change.  As
+    ``ε → 0`` the spectrum of the SSOR-preconditioned operator stretches,
+    so parametrized m-step schedules earn much more than they do on the
+    isotropic problem — the scenario the registry uses to exercise the
+    method off the paper's benign workloads.
+    """
+    require(n_grid >= 2, "need at least a 2×2 interior grid")
+    require(epsilon > 0, "anisotropy ratio must be positive")
+    h = 1.0 / (n_grid + 1)
+    t = _laplacian_1d(n_grid)
+    eye = sp.identity(n_grid, format="csr")
+    # Fast index is x (idx % n_grid), so kron(eye, t) differences along x.
+    k = ((epsilon * sp.kron(eye, t) + sp.kron(t, eye)) / (h * h)).tocsr()
+    return AnisotropicProblem(
+        n_grid=n_grid, k=k, f=_grid_rhs(n_grid, rhs), epsilon=epsilon
+    )

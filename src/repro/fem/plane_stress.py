@@ -133,6 +133,7 @@ def assemble_from_triangles(
     coords: np.ndarray,
     triangles: np.ndarray,
     material: ElasticMaterial,
+    element_scale: np.ndarray | None = None,
 ) -> sp.csr_matrix:
     """Assemble a plane-stress stiffness over an arbitrary triangle set.
 
@@ -142,12 +143,23 @@ def assemble_from_triangles(
     This is the shared kernel behind the rectangular plate and the
     irregular-region problems of :mod:`repro.fem.irregular`.
 
+    ``element_scale`` (one positive factor per triangle) multiplies each
+    element stiffness — a spatially varying Young's modulus, since ``E``
+    enters ``Kₑ`` linearly.  The variable-coefficient plate scenarios are
+    built on this; ``None`` keeps the homogeneous material.
+
     All element matrices are formed in one batched einsum
     (``Kₑ = t·A·Bᵀ D B`` across the whole triangle set) — the Python-loop
     reference is :func:`cst_stiffness`, against which this path is tested.
     """
     triangles = np.asarray(triangles, dtype=np.int64)
     n_tri = triangles.shape[0]
+    if element_scale is not None:
+        element_scale = np.asarray(element_scale, dtype=float)
+        require(element_scale.shape == (n_tri,),
+                "element_scale needs one factor per triangle")
+        require(bool(np.all(element_scale > 0)),
+                "element_scale factors must be positive")
     if n_tri == 0:
         n_full = 2 * coords.shape[0]
         return sp.csr_matrix((n_full, n_full))
@@ -175,6 +187,8 @@ def assemble_from_triangles(
 
     d = material.d_matrix
     scale = material.thickness * 0.5 * area2  # t·A per triangle
+    if element_scale is not None:
+        scale = scale * element_scale
     ke = np.einsum("eki,kl,elj->eij", bmat, d, bmat) * scale[:, None, None]
     ke = 0.5 * (ke + np.transpose(ke, (0, 2, 1)))  # exact symmetry
 
@@ -195,6 +209,7 @@ def assemble_plate_full(
     material: ElasticMaterial | None = None,
     traction_x: float = 1.0,
     traction_y: float = 0.0,
+    element_scale: np.ndarray | None = None,
 ) -> tuple[sp.csr_matrix, np.ndarray]:
     """Assemble the *unconstrained* plate system over all ``2·n_nodes`` dofs.
 
@@ -205,7 +220,9 @@ def assemble_plate_full(
     mask rather than by elimination (Section 3.1).
     """
     material = material or ElasticMaterial()
-    k_full = assemble_from_triangles(mesh.coordinates, mesh.triangles, material)
+    k_full = assemble_from_triangles(
+        mesh.coordinates, mesh.triangles, material, element_scale=element_scale
+    )
     f_full = edge_traction_loads(mesh, material, traction_x, traction_y)
     return k_full, f_full
 
@@ -215,6 +232,7 @@ def assemble_plate(
     material: ElasticMaterial | None = None,
     traction_x: float = 1.0,
     traction_y: float = 0.0,
+    element_scale: np.ndarray | None = None,
 ) -> tuple[sp.csr_matrix, np.ndarray]:
     """Assemble the constrained plane-stress system ``K u = f`` of (1.1).
 
@@ -227,7 +245,9 @@ def assemble_plate(
     f:
         Load vector from the uniform traction on the loaded edge.
     """
-    k_full, f_full = assemble_plate_full(mesh, material, traction_x, traction_y)
+    k_full, f_full = assemble_plate_full(
+        mesh, material, traction_x, traction_y, element_scale=element_scale
+    )
 
     # Eliminate constrained dofs.  Fixed displacements are zero so the load
     # carries over unchanged on the free dofs.

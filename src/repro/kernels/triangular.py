@@ -207,10 +207,25 @@ class ColorBlockMergedSweep:
         return len(self.slices)
 
     def apply(self, coefficients: np.ndarray, r: np.ndarray) -> np.ndarray:
-        """``(α₀ I + … + α_{m−1} G^{m−1}) P⁻¹ r`` by merged sweeps."""
+        """``(α₀ I + … + α_{m−1} G^{m−1}) P⁻¹ r`` by merged sweeps.
+
+        ``coefficients`` is ``(m,)`` — one schedule for every right-hand
+        side — or ``(m, k)`` for an ``(n, k)`` block ``r`` whose columns
+        carry *different* α schedules of the same length (the batched
+        multi-cell sweep of :meth:`repro.machines.cyber.CyberMachine
+        .solve_schedule`).  Per-column α's enter only through elementwise
+        broadcasts, so each column's arithmetic is bit-identical to a
+        single-vector apply with its own schedule.
+        """
         coefficients = np.atleast_1d(np.asarray(coefficients, dtype=np.float64))
-        m = int(coefficients.size)
+        m = int(coefficients.shape[0])
         r = np.asarray(r, dtype=np.float64)
+        if coefficients.ndim == 2:
+            if r.ndim != 2 or r.shape[1] != coefficients.shape[1]:
+                raise ValueError(
+                    "per-column coefficients need an (n, k) block with "
+                    "matching column count"
+                )
         nc = self.n_groups
         slices = self.slices
         pool = self.pool
@@ -239,7 +254,7 @@ class ColorBlockMergedSweep:
             np.negative(buf, out=buf)
             return buf
 
-        def solve_into(c: int, x: np.ndarray, yc, alpha: float) -> None:
+        def solve_into(c: int, x: np.ndarray, yc, alpha) -> None:
             zc = xg[c]
             np.multiply(rg[c], alpha, out=zc)
             if yc is not None:
@@ -248,7 +263,13 @@ class ColorBlockMergedSweep:
             zc *= inv_diag[c] if r.ndim == 1 else inv_diag[c][:, None]
 
         for s in range(1, m + 1):
-            alpha = float(coefficients[m - s])
+            # Scalar α for a shared schedule; an (k,) row of per-column α's
+            # otherwise (broadcast across the block in solve_into).
+            alpha = (
+                float(coefficients[m - s])
+                if coefficients.ndim == 1
+                else coefficients[m - s]
+            )
             for c in range(nc):
                 x = block_sum_neg(lower_blocks[c], xs[c])
                 solve_into(c, x, y[c], alpha)

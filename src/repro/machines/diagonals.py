@@ -77,14 +77,24 @@ class DiagonalStorage:
 
         Each diagonal is a single elementwise multiply-add over contiguous
         slices — the CYBER-friendly access pattern.  Accumulates into
-        ``out`` when given.
+        ``out`` when given.  ``x`` may be an ``(n,)`` vector or an
+        ``(n, k)`` block; block columns see the identical elementwise
+        multiply-adds a vector would, so they are bit-identical to ``k``
+        single applications.
         """
         require(x.shape[0] == self.shape[1], "input length mismatch")
-        y = np.zeros(self.shape[0]) if out is None else out
+        if out is None:
+            shape = (self.shape[0],) if x.ndim == 1 else (self.shape[0], x.shape[1])
+            y = np.zeros(shape)
+        else:
+            y = out
         require(y.shape[0] == self.shape[0], "output length mismatch")
         for index, k in enumerate(self.offsets):
             start, stop = self.diagonal_span(index)
-            y[start:stop] += self.data[index] * x[start + k : stop + k]
+            seg = self.data[index]
+            if x.ndim == 2:
+                seg = seg[:, None]
+            y[start:stop] += seg * x[start + k : stop + k]
         return y
 
     def to_csr(self) -> sp.csr_matrix:

@@ -264,6 +264,7 @@ class FiniteElementMachine:
         label: str | None = None,
         applicator: str = "splitting",
         backend: str | None = None,
+        preconditioner=None,
     ) -> FEMResult:
         """Run the method; numerics identical to the reference solver.
 
@@ -276,6 +277,12 @@ class FiniteElementMachine:
         merged sweep.  The charged clock depends only on the iteration
         count — which every path reproduces — so the cost model is
         backend-invariant.
+
+        A prebuilt ``preconditioner`` (an object with ``apply``) skips the
+        per-solve applicator construction — the
+        :class:`~repro.pipeline.SolverSession` hands its compiled, cached
+        applicators in here so a whole Table-3 schedule shares one set of
+        factorized sweeps.
         """
         require(m >= 0, "m must be non-negative")
         if m >= 1:
@@ -284,9 +291,10 @@ class FiniteElementMachine:
             )
             require(coefficients.size == m, "need one coefficient per step")
             parametrized = not np.allclose(coefficients, 1.0)
-            preconditioner = build_mstep_applicator(
-                self.blocked, coefficients, applicator=applicator, backend=backend
-            )
+            if preconditioner is None:
+                preconditioner = build_mstep_applicator(
+                    self.blocked, coefficients, applicator=applicator, backend=backend
+                )
         else:
             parametrized = False
             preconditioner = None

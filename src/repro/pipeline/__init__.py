@@ -1,0 +1,35 @@
+"""The plan → compile → execute pipeline.
+
+* :mod:`repro.pipeline.problems` — :class:`ProblemSpec`, a registry of
+  named scenarios (the paper's plate, stretched/irregular domains,
+  anisotropic stencils, variable-coefficient plates, …);
+* :mod:`repro.pipeline.plan` — :class:`SolverPlan`, the declarative
+  schedule (m-cells, parametrization, ω, backend);
+* :mod:`repro.pipeline.session` — :class:`SolverSession`, which compiles
+  one plan against one problem (coloring, blocked system, spectrum, cached
+  color-block kernels, machine layouts) and then executes many schedule
+  cells and right-hand sides — including the batched lockstep CYBER pass
+  that runs a whole Table-2 schedule through one simulator sweep.
+"""
+
+from repro.pipeline.plan import SolverPlan, cell_label
+from repro.pipeline.problems import (
+    ProblemSpec,
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario,
+)
+from repro.pipeline.session import SessionStats, SolverSession
+
+__all__ = [
+    "SolverPlan",
+    "cell_label",
+    "ProblemSpec",
+    "available_scenarios",
+    "build_scenario",
+    "register_scenario",
+    "scenario",
+    "SessionStats",
+    "SolverSession",
+]

@@ -1,0 +1,101 @@
+"""Solver plans: the declarative half of the plan → compile → execute pipeline.
+
+A :class:`SolverPlan` names *what* to run — the ``(m, parametrized)``
+schedule cells, the parametrization criterion, ω, the stopping tolerance,
+and which preconditioner realization/backend to use — without touching any
+problem.  :class:`~repro.pipeline.session.SolverSession` compiles a plan
+against one problem (coloring, blocked system, cached kernels) and then
+executes it for many cells and many right-hand sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.driver import TABLE2_SCHEDULE, TABLE3_SCHEDULE
+from repro.util import require
+
+__all__ = ["SolverPlan", "cell_label"]
+
+
+def cell_label(m: int, parametrized: bool) -> str:
+    """Table-2/3 row label of one schedule cell: ``0``, ``3``, ``3P``, …"""
+    if m == 0:
+        return "0"
+    return f"{m}P" if parametrized else f"{m}"
+
+
+@dataclass(frozen=True)
+class SolverPlan:
+    """An immutable solve schedule plus method configuration.
+
+    Attributes
+    ----------
+    schedule:
+        ``(m, parametrized)`` cells in execution order (a Table-2 row set,
+        or a single cell for one-off solves).
+    eps:
+        ``‖Δu‖∞`` stopping tolerance.
+    criterion, weight:
+        Parametrization of the αᵢ (see
+        :func:`repro.driver.mstep_coefficients`).
+    omega:
+        SSOR relaxation parameter for the splitting/interval.
+    applicator:
+        ``"sweep"`` (Conrad–Wallach merged sweeps) or ``"splitting"``
+        (kernel-dispatched m-step Horner over the SSOR splitting).
+    backend:
+        Kernel backend for the numerics (``None`` → process default,
+        ``"vectorized"`` or ``"reference"``).
+    maxiter:
+        Outer-iteration cap (``None`` → solver default).
+    """
+
+    schedule: tuple[tuple[int, bool], ...]
+    eps: float = 1e-6
+    criterion: str = "least_squares"
+    weight: str = "uniform"
+    omega: float = 1.0
+    applicator: str = "sweep"
+    backend: str | None = None
+    maxiter: int | None = None
+
+    def __post_init__(self) -> None:
+        schedule = tuple((int(m), bool(p)) for m, p in self.schedule)
+        object.__setattr__(self, "schedule", schedule)
+        require(len(schedule) >= 1, "a plan needs at least one schedule cell")
+        require(all(m >= 0 for m, _ in schedule), "m must be non-negative")
+        require(self.eps > 0, "eps must be positive")
+        require(self.omega > 0, "omega must be positive")
+        require(self.applicator in ("sweep", "splitting"),
+                "applicator must be 'sweep' or 'splitting'")
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def table2(cls, **overrides) -> "SolverPlan":
+        """The 13-cell m-schedule of the paper's Table 2."""
+        return cls(schedule=tuple(TABLE2_SCHEDULE), **overrides)
+
+    @classmethod
+    def table3(cls, **overrides) -> "SolverPlan":
+        """The 10-cell m-schedule of the paper's Table 3."""
+        return cls(schedule=tuple(TABLE3_SCHEDULE), **overrides)
+
+    @classmethod
+    def single(cls, m: int, parametrized: bool = False, **overrides) -> "SolverPlan":
+        """A one-cell plan (one-off solves through the same pipeline)."""
+        return cls(schedule=((m, parametrized),), **overrides)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def needs_interval(self) -> bool:
+        """Whether any cell requires the measured spectrum of P⁻¹K."""
+        return any(p for m, p in self.schedule if m >= 1)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(cell_label(m, p) for m, p in self.schedule)
+
+    def with_(self, **overrides) -> "SolverPlan":
+        """A copy with fields replaced (plans are immutable)."""
+        return replace(self, **overrides)

@@ -1,0 +1,184 @@
+"""The scenario registry: named, parameterized problem builders.
+
+Every entry point used to rebuild its model problem by hand — the CLI had
+``_build_plate``, the benchmarks their ``cached_plate``, each example its
+own few lines — which meant a new scenario had to be wired into every
+caller separately.  :class:`ProblemSpec` centralizes that: a named builder
+with documented defaults, so drivers ask for ``build_scenario("plate",
+nrows=20)`` and new workloads become one ``register_scenario`` call.
+
+The stock registry spans the paper's workloads and beyond:
+
+========================  ==================================================
+``plate``                 the paper's plane-stress plate (Tables 2–3)
+``stretched-plate``       the plate on a 4:1 stretched domain (skewed
+                          elements, harder spectrum)
+``variable-plate``        spatially varying Young's modulus (graded or a
+                          stiff inclusion) — values change, coloring doesn't
+``lshape``                L-shaped domain, greedy multicoloring (the
+                          paper's concluding open problem)
+``perforated``            plate with a circular hole, greedy multicoloring
+``poisson``               5-point Laplacian, classical red/black
+``anisotropic``           ``−ε·u_xx − u_yy``: red/black structure, stiff
+                          anisotropic spectrum
+========================  ==================================================
+
+All builders return objects satisfying the problem protocol
+(``k``, ``f``, ``group_of_unknown``, ``group_labels``) that the multicolor
+machinery and :class:`~repro.pipeline.SolverSession` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.fem import (
+    anisotropic_problem,
+    l_shaped_problem,
+    perforated_problem,
+    plate_problem,
+    poisson_problem,
+    variable_plate_problem,
+)
+from repro.util import require
+
+__all__ = [
+    "ProblemSpec",
+    "register_scenario",
+    "scenario",
+    "build_scenario",
+    "available_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """A named scenario: builder + documented defaults.
+
+    ``build(**overrides)`` merges the overrides into the defaults and
+    calls the builder; unknown keyword names surface as the builder's own
+    ``TypeError`` so specs stay thin.
+    """
+
+    name: str
+    builder: Callable
+    description: str
+    defaults: dict = field(default_factory=dict)
+    #: Name of the builder's mesh-size parameter (``nrows``, ``a``,
+    #: ``n_grid``) so generic drivers — the CLI's ``--rows`` — can scale
+    #: any scenario without knowing its signature.
+    size_param: str | None = None
+
+    def build(self, **overrides):
+        params = {**self.defaults, **overrides}
+        return self.builder(**params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProblemSpec({self.name!r}: {self.description})"
+
+
+_REGISTRY: dict[str, ProblemSpec] = {}
+
+
+def register_scenario(
+    name: str,
+    builder: Callable,
+    description: str,
+    size_param: str | None = None,
+    **defaults,
+) -> ProblemSpec:
+    """Register (or replace) a named scenario and return its spec."""
+    require(bool(name), "scenario name must be non-empty")
+    spec = ProblemSpec(
+        name=name,
+        builder=builder,
+        description=description,
+        defaults=defaults,
+        size_param=size_param,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def scenario(name: str) -> ProblemSpec:
+    """Look up a registered scenario by name."""
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}")
+    return _REGISTRY[name]
+
+
+def build_scenario(name: str, **overrides):
+    """Build a registered scenario's problem with parameter overrides."""
+    return scenario(name).build(**overrides)
+
+
+def available_scenarios() -> tuple[ProblemSpec, ...]:
+    """All registered specs, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+# --------------------------------------------------------------- stock entries
+register_scenario(
+    "plate",
+    plate_problem,
+    "the paper's plane-stress plate (unit square, left edge fixed, "
+    "right edge loaded)",
+    size_param="nrows",
+    nrows=20,
+)
+
+register_scenario(
+    "stretched-plate",
+    lambda nrows=20, ncols=None, aspect=4.0, **kw: plate_problem(
+        nrows, ncols=ncols, width=aspect, **kw
+    ),
+    "the plate on a stretched (4:1 by default) domain — skewed elements, "
+    "a harder spectrum, identical R/B/G coloring",
+    size_param="nrows",
+    nrows=20,
+)
+
+register_scenario(
+    "variable-plate",
+    variable_plate_problem,
+    "the plate with spatially varying Young's modulus (graded stiffness "
+    "or a stiff inclusion)",
+    size_param="nrows",
+    nrows=20,
+)
+
+register_scenario(
+    "lshape",
+    l_shaped_problem,
+    "L-shaped plate, greedy multicoloring (the paper's concluding "
+    "open problem)",
+    size_param="a",
+    a=13,
+)
+
+register_scenario(
+    "perforated",
+    perforated_problem,
+    "plate with a circular hole, greedy multicoloring",
+    size_param="a",
+    a=13,
+)
+
+register_scenario(
+    "poisson",
+    poisson_problem,
+    "5-point Laplacian on the unit square, classical red/black coloring",
+    size_param="n_grid",
+    n_grid=16,
+)
+
+register_scenario(
+    "anisotropic",
+    anisotropic_problem,
+    "anisotropic stencil −ε·u_xx − u_yy: red/black structure with a "
+    "stiff spectrum as ε → 0",
+    size_param="n_grid",
+    n_grid=16,
+)

@@ -1,0 +1,328 @@
+"""SolverSession: compile a plan once, execute many cells and right-hand sides.
+
+The expensive, value-independent work of the m-step multicolor SSOR PCG
+method — coloring the problem, permuting into the block system (3.1),
+measuring the spectrum of ``P⁻¹K``, factorizing/caching the color-block
+triangular kernels, laying out the machine simulators — depends only on the
+problem and the plan, never on which schedule cell or right-hand side is
+being solved.  Before this module every entry point re-derived some of it
+per cell; a :class:`SolverSession` does each piece exactly once and then
+serves:
+
+* :meth:`solve_cell` / :meth:`execute` — driver-level solves (the engine
+  behind :func:`repro.driver.solve_mstep_ssor`), any number of cells and
+  right-hand sides against one compiled state;
+* :meth:`cyber` / :meth:`run_cyber_schedule` — the CYBER 203/205
+  simulator, including the batched lockstep pass that runs a whole
+  Table-2 schedule through **one** simulator sweep
+  (:meth:`repro.machines.cyber.CyberMachine.solve_schedule`);
+* :meth:`fem` / :meth:`fem_solve` — Finite Element Machine solves fed
+  from the session's cached applicators.
+
+:attr:`stats` counts the compile-level artifacts (colorings, interval
+measurements, applicator factorizations, machine layouts) so tests can
+assert structurally that executing N cells × K right-hand sides performs
+exactly one of each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import StoppingRule
+from repro.core.pcg import pcg
+from repro.driver import (
+    MStepSolve,
+    build_blocked_system,
+    build_mstep_applicator,
+    mstep_coefficients,
+    ssor_interval,
+)
+from repro.machines import CYBER_203, CyberMachine, FiniteElementMachine
+from repro.pipeline.plan import SolverPlan
+from repro.pipeline.problems import build_scenario
+from repro.util import require
+
+__all__ = ["SessionStats", "SolverSession"]
+
+
+@dataclass
+class SessionStats:
+    """Compile-artifact counters — the session's structural contract.
+
+    ``colorings``/``intervals``/``applicator_builds``/``machine_builds``
+    count the expensive once-per-session steps; ``solves`` counts the
+    cheap per-execution work.  A correctly compiled session serving many
+    cells and right-hand sides increments only ``solves``.
+    """
+
+    colorings: int = 0
+    intervals: int = 0
+    coefficient_builds: int = 0
+    applicator_builds: int = 0
+    machine_builds: int = 0
+    solves: int = 0
+
+    def compile_counts(self) -> dict[str, int]:
+        return {
+            "colorings": self.colorings,
+            "intervals": self.intervals,
+            "coefficient_builds": self.coefficient_builds,
+            "applicator_builds": self.applicator_builds,
+            "machine_builds": self.machine_builds,
+        }
+
+
+class SolverSession:
+    """One problem + one plan, compiled once, executed many times."""
+
+    def __init__(
+        self,
+        problem,
+        plan: SolverPlan | None = None,
+        blocked=None,
+        interval: tuple[float, float] | None = None,
+    ):
+        self.problem = problem
+        self.plan = plan if plan is not None else SolverPlan.single(0)
+        self.stats = SessionStats()
+        self._blocked = blocked
+        self._interval = interval
+        self._coefficients: dict = {}
+        self._applicators: dict = {}
+        self._machines: dict = {}
+        self._compiled = False
+
+    @classmethod
+    def from_scenario(
+        cls, name: str, plan: SolverPlan | None = None, **params
+    ) -> "SolverSession":
+        """Build a session for a registered scenario (see
+        :mod:`repro.pipeline.problems`)."""
+        return cls(build_scenario(name, **params), plan=plan)
+
+    # ------------------------------------------------------------ compiled state
+    @property
+    def blocked(self):
+        """The multicolor blocked system — colored and permuted once."""
+        if self._blocked is None:
+            self._blocked = build_blocked_system(self.problem)
+            self.stats.colorings += 1
+        return self._blocked
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """``[λ₁, λ_n]`` of ``P⁻¹K`` — measured once, reused everywhere."""
+        if self._interval is None:
+            self._interval = ssor_interval(self.blocked, omega=self.plan.omega)
+            self.stats.intervals += 1
+        return self._interval
+
+    def coefficients(self, m: int, parametrized: bool) -> np.ndarray | None:
+        """The cell's αᵢ under the plan's criterion (cached; None for m = 0)."""
+        if m == 0:
+            return None
+        key = (m, parametrized)
+        if key not in self._coefficients:
+            interval = self.interval if parametrized else None
+            self._coefficients[key] = mstep_coefficients(
+                m, parametrized, interval, self.plan.criterion, self.plan.weight
+            )
+            self.stats.coefficient_builds += 1
+        return self._coefficients[key]
+
+    def applicator(
+        self,
+        m: int,
+        parametrized: bool,
+        applicator: str | None = None,
+        backend: str | None = None,
+    ):
+        """The cell's compiled preconditioner realization (cached)."""
+        if m == 0:
+            return None
+        applicator = applicator if applicator is not None else self.plan.applicator
+        backend = backend if backend is not None else self.plan.backend
+        key = (m, parametrized, applicator, backend)
+        if key not in self._applicators:
+            self._applicators[key] = build_mstep_applicator(
+                self.blocked,
+                self.coefficients(m, parametrized),
+                applicator=applicator,
+                backend=backend,
+            )
+            self.stats.applicator_builds += 1
+        return self._applicators[key]
+
+    def compile(self) -> "SolverSession":
+        """Force every plan artifact now (idempotent).
+
+        Touches the blocked system, the interval (iff some cell is
+        parametrized), and every cell's coefficients and applicator, so a
+        compiled session's executes perform no factorization work at all.
+        """
+        if self._compiled:
+            return self
+        _ = self.blocked
+        if self.plan.needs_interval:
+            _ = self.interval
+        for m, parametrized in self.plan.schedule:
+            self.applicator(m, parametrized)
+        self._compiled = True
+        return self
+
+    # ----------------------------------------------------------------- execution
+    def solve_cell(
+        self,
+        m: int,
+        parametrized: bool = False,
+        f: np.ndarray | None = None,
+        eps: float | None = None,
+        stopping: StoppingRule | None = None,
+        maxiter: int | None = None,
+        track_residual: bool = False,
+        applicator: str | None = None,
+        backend: str | None = None,
+    ) -> MStepSolve:
+        """One cell against the compiled state, for any right-hand side.
+
+        Numerically identical to :func:`repro.driver.solve_mstep_ssor` —
+        which since this refactor *is* a one-cell session — but coloring,
+        interval, coefficients and the preconditioner factorization come
+        from the session caches.
+        """
+        require(m >= 0, "m must be non-negative")
+        blocked = self.blocked
+        ordering = blocked.ordering
+        f = self.problem.f if f is None else f
+        f_mc = ordering.permute_vector(np.asarray(f, dtype=float))
+
+        interval = self._interval
+        coefficients = None
+        preconditioner = None
+        if m >= 1:
+            if parametrized:
+                interval = self.interval
+            coefficients = self.coefficients(m, parametrized)
+            preconditioner = self.applicator(
+                m, parametrized, applicator=applicator, backend=backend
+            )
+
+        result = pcg(
+            blocked.permuted,
+            f_mc,
+            preconditioner=preconditioner,
+            eps=eps if eps is not None else self.plan.eps,
+            stopping=stopping,
+            maxiter=maxiter if maxiter is not None else self.plan.maxiter,
+            track_residual=track_residual,
+        )
+        self.stats.solves += 1
+        return MStepSolve(
+            result=result,
+            u=ordering.unpermute_vector(result.u),
+            m=m,
+            parametrized=parametrized,
+            coefficients=coefficients,
+            interval=interval,
+            blocked=blocked,
+        )
+
+    def execute(self, f: np.ndarray | None = None) -> list[MStepSolve]:
+        """Every plan cell in order against one right-hand side."""
+        self.compile()
+        return [
+            self.solve_cell(m, parametrized, f=f)
+            for m, parametrized in self.plan.schedule
+        ]
+
+    def execute_many(self, rhs_list) -> list[list[MStepSolve]]:
+        """Every plan cell for every right-hand side (one compile serves all)."""
+        self.compile()
+        return [self.execute(f=f) for f in rhs_list]
+
+    # ------------------------------------------------------------------ machines
+    def schedule_cells(self) -> list[tuple[int, np.ndarray | None]]:
+        """The plan's cells as ``(m, coefficients)`` pairs for the machines."""
+        return [
+            (m, self.coefficients(m, parametrized))
+            for m, parametrized in self.plan.schedule
+        ]
+
+    def cyber(self, timing=None) -> CyberMachine:
+        """The CYBER simulator for this problem (laid out once, cached)."""
+        timing = timing if timing is not None else CYBER_203
+        key = ("cyber", timing)
+        if key not in self._machines:
+            self._machines[key] = CyberMachine(self.problem, timing)
+            self.stats.machine_builds += 1
+        return self._machines[key]
+
+    def run_cyber_schedule(
+        self,
+        batched: bool = True,
+        eps: float | None = None,
+        maxiter: int | None = None,
+        timing=None,
+    ):
+        """The plan's full schedule on the CYBER simulator.
+
+        ``batched=True`` (default) runs every cell through **one** lockstep
+        simulator pass — the batched ``(n, k)`` merged-sweep kernels with
+        per-cell charge replay of
+        :meth:`~repro.machines.cyber.CyberMachine.solve_schedule`, bitwise
+        identical to the per-column path in iteration counts, clocks, op
+        ledgers and iterates.  ``batched=False`` (or a ``"reference"``
+        plan backend) keeps the cell-at-a-time pass for pinning.
+        """
+        machine = self.cyber(timing)
+        cells = self.schedule_cells()
+        eps = eps if eps is not None else self.plan.eps
+        if batched and self.plan.backend != "reference":
+            return machine.solve_schedule(cells, eps=eps, maxiter=maxiter)
+        return [
+            machine.solve(
+                m, coeffs, eps=eps, maxiter=maxiter, backend=self.plan.backend
+            )
+            for m, coeffs in cells
+        ]
+
+    def fem(self, n_procs: int = 1, **kwargs) -> FiniteElementMachine:
+        """A Finite Element Machine sharing the session's blocked system."""
+        key = ("fem", n_procs, tuple(sorted(kwargs.items())))
+        if key not in self._machines:
+            self._machines[key] = FiniteElementMachine(
+                self.problem, n_procs, blocked=self.blocked, **kwargs
+            )
+            self.stats.machine_builds += 1
+        return self._machines[key]
+
+    def fem_solve(
+        self,
+        m: int,
+        parametrized: bool = False,
+        n_procs: int = 1,
+        eps: float | None = None,
+        **kwargs,
+    ):
+        """One FEM-simulator cell using the session's cached applicator.
+
+        The machine's own per-solve applicator construction is skipped —
+        the compiled ``"splitting"`` applicator (the FEM solve path's
+        default realization) is handed straight in.
+        """
+        machine = self.fem(n_procs, **kwargs)
+        preconditioner = (
+            self.applicator(m, parametrized, applicator="splitting")
+            if m >= 1
+            else None
+        )
+        self.stats.solves += 1
+        return machine.solve(
+            m,
+            self.coefficients(m, parametrized),
+            eps=eps if eps is not None else self.plan.eps,
+            preconditioner=preconditioner,
+        )

@@ -35,6 +35,69 @@ class TestPerformanceModel:
             PerformanceModel(a=1.0, b=1.0).predicted_time(-1, 10)
 
 
+class TestBlockWidthModel:
+    """The block-width cost extension (PR 3): PerformanceModel priced from
+    the machine's batched preconditioner agrees with the machine itself."""
+
+    @pytest.fixture(scope="class")
+    def machines(self):
+        from repro.machines import FiniteElementMachine
+
+        problem = plate_problem(6)
+        return {p: FiniteElementMachine(problem, p) for p in (1, 2, 5)}
+
+    @pytest.mark.parametrize("n_procs", [1, 2, 5])
+    @pytest.mark.parametrize("width", [1, 4, 13])
+    def test_predicted_block_time_matches_machine(self, machines, n_procs, width):
+        # width 13 = the Table-2 schedule column count — the batched
+        # multi-RHS sweep the session runs.
+        machine = machines[n_procs]
+        model = PerformanceModel.from_fem_machine(machine, m=3)
+        for m in (1, 2, 5):
+            assert model.preconditioner_block_time(m, width) == pytest.approx(
+                machine.preconditioner_block_seconds(m, width), rel=1e-12
+            )
+
+    def test_width_one_is_the_paper_model(self, machines):
+        machine = machines[5]
+        a, b = machine.iteration_costs(3)
+        model = PerformanceModel.from_fem_machine(machine, m=3)
+        assert model.a == a and model.b == b
+        assert model.step_cost(1) == b
+        assert model.predicted_time(3, 20) == (a + 3 * b) * 20
+        assert model.b_over_a_at(1) == model.b_over_a
+
+    def test_per_rhs_cost_falls_with_width(self, machines):
+        model = PerformanceModel.from_fem_machine(machines[5], m=2)
+        assert model.amortizes
+        per_rhs = [model.step_cost(w) / w for w in (1, 4, 13)]
+        assert per_rhs[0] > per_rhs[1] > per_rhs[2] > model.b_marginal
+
+    def test_batched_decision_widens_the_threshold(self, machines):
+        model = PerformanceModel.from_fem_machine(machines[5], m=3)
+        narrow = inequality_42(3, 20, 17, model)
+        wide = inequality_42(3, 20, 17, model, width=13)
+        assert wide.b_over_a < narrow.b_over_a
+        assert wide.threshold == narrow.threshold  # iteration side unchanged
+        assert wide.width == 13 and narrow.width == 1
+
+    def test_unamortized_model_scales_linearly(self):
+        model = PerformanceModel(a=2.0, b=0.5)  # no b_marginal given
+        assert model.step_cost(4) == 4 * 0.5
+        assert model.b_over_a_at(8) == model.b_over_a
+        assert model.predicted_time(2, 10, width=3) == (2.0 * 3 + 2 * 1.5) * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(a=1.0, b=0.5, b_marginal=0.6)  # marginal > b
+        with pytest.raises(ValueError):
+            PerformanceModel(a=1.0, b=0.5, b_marginal=-0.1)
+        with pytest.raises(ValueError):
+            PerformanceModel(a=1.0, b=0.5).step_cost(0)
+        with pytest.raises(ValueError):
+            PerformanceModel(a=1.0, b=0.5).preconditioner_block_time(0, 4)
+
+
 class TestInequality42:
     def test_condition_1_fewer_inner_loops(self):
         # 9·33 = 297 → m+1 with 10·29 = 290 < 297: condition (1) holds.

@@ -43,6 +43,52 @@ class TestCLI:
         assert code == 0
         assert "recommended m" in out
 
+    def test_table2(self, capsys):
+        code = main(["table2", "--meshes", "8", "--eps", "1e-6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 2" in out
+        assert "one batched simulator pass" in out
+        assert "I(a=8)" in out
+
+    def test_table2_per_column_matches_batched(self, capsys):
+        assert main(["table2", "--meshes", "8", "--eps", "1e-6"]) == 0
+        batched = capsys.readouterr().out
+        assert main(
+            ["table2", "--meshes", "8", "--eps", "1e-6", "--per-column"]
+        ) == 0
+        per_column = capsys.readouterr().out
+        # Identical numbers, different banner.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if not line.startswith("Table 2")
+        ]
+        assert strip(batched) == strip(per_column)
+
+    def test_table2_rejects_bad_meshes(self, capsys):
+        assert main(["table2", "--meshes", "abc"]) == 2
+
+    def test_solve_scenario_and_backend(self, capsys):
+        code = main([
+            "solve", "--scenario", "anisotropic", "--rows", "10",
+            "--m", "3", "-P", "--backend", "reference",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AnisotropicProblem" in out
+        assert "m = 3P" in out
+
+    def test_cyber_backend_flag(self, capsys):
+        code = main(["cyber", "--rows", "8", "--m", "2", "--backend", "reference"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CYBER 203 simulation" in out
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("plate", "anisotropic", "variable-plate", "lshape"):
+            assert name in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["definitely-not-a-command"])

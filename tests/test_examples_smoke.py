@@ -49,6 +49,12 @@ class TestExamplesRun:
         assert "speedup" in out
         assert "Figure 5" in out
 
+    def test_scenario_tour(self, capsys):
+        load_example("scenario_tour").main()
+        out = capsys.readouterr().out
+        assert "anisotropic" in out
+        assert "variable-plate" in out
+
 
 class TestHeavyExamplesImportable:
     @pytest.mark.parametrize(

@@ -74,6 +74,43 @@ def test_full_pcg(benchmark, backend):
     assert solve.result.converged
 
 
+def test_block_pcg_lockstep(benchmark):
+    """BLOCK-width multi-RHS solve through one block_pcg lockstep."""
+    from repro.pipeline import SolverPlan, SolverSession, synthetic_load_block
+
+    problem = cached_plate(SWEEP_MESH)
+    blocked = cached_blocked(SWEEP_MESH)
+    width = 6
+    session = SolverSession(
+        problem, plan=SolverPlan.single(3, block_rhs=width), blocked=blocked
+    ).compile()
+    F = synthetic_load_block(problem, width)
+
+    block = benchmark(session.solve_cell_block, 3, F=F)
+    assert block.result.all_converged
+
+
+def test_fem_schedule_lockstep(benchmark):
+    """The full Table-3 schedule through one batched FEM simulator pass."""
+    from repro.driver import TABLE3_SCHEDULE, mstep_coefficients
+    from repro.machines import FiniteElementMachine
+
+    problem = cached_plate(SWEEP_MESH)
+    blocked = cached_blocked(SWEEP_MESH)
+    interval = cached_interval(SWEEP_MESH)
+    machine = FiniteElementMachine(problem, 4, blocked=blocked)
+    cells = [
+        (m, mstep_coefficients(m, par, interval) if m >= 1 else None)
+        for m, par in TABLE3_SCHEDULE
+    ]
+
+    results = benchmark.pedantic(
+        machine.solve_schedule, args=(cells,), kwargs={"eps": 1e-6},
+        rounds=1, iterations=1, warmup_rounds=1,
+    )
+    assert all(r.converged for r in results)
+
+
 def test_table2_schedule(benchmark, backend):
     problem = cached_plate(SWEEP_MESH)
     blocked = cached_blocked(SWEEP_MESH)

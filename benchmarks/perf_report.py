@@ -54,7 +54,9 @@ from repro.core.polynomial import neumann_coefficients  # noqa: E402
 from repro.core.splittings import SSORSplitting  # noqa: E402
 from repro.driver import (  # noqa: E402
     TABLE2_SCHEDULE,
+    TABLE3_SCHEDULE,
     build_blocked_system,
+    mstep_coefficients,
     solve_mstep_ssor,
     ssor_interval,
 )
@@ -67,9 +69,16 @@ TARGET_TABLE2_SPEEDUP = 2.0
 #: The batched lockstep CYBER sweep must beat the cell-at-a-time pass by
 #: at least this factor (measured ~1.9× at a = 20).
 TARGET_CYBER_BATCHED_SPEEDUP = 1.3
+#: block_pcg over BLOCK_WIDTH simultaneous right-hand sides must beat
+#: per-column pcg by at least this factor (ISSUE 4: ≥1.3× at k ≥ 4).
+TARGET_BLOCK_PCG_SPEEDUP = 1.3
+#: The batched FEM Table-3 lockstep must beat per-cell solves likewise.
+TARGET_FEM_SCHEDULE_SPEEDUP = 1.3
 
 M_APPLY = 4  # the m used for preconditioner-application timings
 M_PCG = 3  # the m used for full-solve timings
+BLOCK_WIDTH = 6  # right-hand sides in the block-PCG benchmark
+FEM_PROCS = 4  # processor count for the FEM-schedule benchmark
 
 
 def _time_call(fn, repeats: int, min_seconds: float = 0.02) -> float:
@@ -205,6 +214,99 @@ def bench_cyber_schedule(problem, repeats: int, eps: float) -> dict:
     return out
 
 
+def bench_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
+    """Multi-RHS block-PCG vs per-column solves on one compiled session.
+
+    ``BLOCK_WIDTH`` load cases (the scenario's own plus seeded synthetic
+    ones) through one :func:`repro.core.pcg.block_pcg` lockstep versus
+    one :meth:`SolverSession.solve_cell` per column — same compiled
+    caches either way, so the recorded ``speedup`` is the pure win of the
+    batched ``(n, k)`` numerics.  Per-column iteration counts are
+    recorded for both modes; they are bitwise identical by contract and
+    the gate flags any drift.
+    """
+    from repro.pipeline import SolverPlan, SolverSession, synthetic_load_block
+
+    session = SolverSession(
+        problem,
+        plan=SolverPlan.single(M_PCG, eps=eps, block_rhs=BLOCK_WIDTH),
+        blocked=blocked,
+    )
+    session.compile()
+    F = synthetic_load_block(problem, BLOCK_WIDTH)
+    iterations: dict[str, dict[str, int]] = {}
+
+    def run_percolumn() -> None:
+        cells = iterations.setdefault("percolumn", {})
+        for j in range(BLOCK_WIDTH):
+            solve = session.solve_cell(M_PCG, f=F[:, j])
+            assert solve.result.converged
+            cells[str(j)] = solve.iterations
+
+    def run_block() -> None:
+        cells = iterations.setdefault("block", {})
+        block = session.solve_cell_block(M_PCG, F=F)
+        assert block.result.all_converged
+        for j in range(BLOCK_WIDTH):
+            cells[str(j)] = int(block.iterations[j])
+
+    out = {
+        "percolumn_s": _time_call(run_percolumn, repeats),
+        "block_s": _time_call(run_block, repeats),
+    }
+    if iterations["block"] != iterations["percolumn"]:
+        raise AssertionError(
+            "block and per-column PCG disagree on iteration counts"
+        )
+    out["speedup"] = out["percolumn_s"] / out["block_s"]
+    out["iterations"] = iterations
+    out["width"] = BLOCK_WIDTH
+    return out
+
+
+def bench_fem_schedule(problem, blocked, repeats: int, eps: float) -> dict:
+    """The FEM Table-3 schedule: per-cell solves vs one lockstep pass.
+
+    Both modes share one machine layout and blocked system; the batched
+    pass (:meth:`FiniteElementMachine.solve_schedule`) stacks active
+    cells into ``(n, k)`` blocks and shares one zero-padded splitting
+    applicator, bitwise identical to per-cell ``solve`` calls in
+    iterations, clocks and ledgers (the gate flags iteration drift).
+    """
+    from repro.machines import FiniteElementMachine
+
+    interval = ssor_interval(blocked)
+    machine = FiniteElementMachine(problem, FEM_PROCS, blocked=blocked)
+    cells = [
+        (m, mstep_coefficients(m, parametrized, interval) if m >= 1 else None)
+        for m, parametrized in TABLE3_SCHEDULE
+    ]
+    iterations: dict[str, dict[str, int]] = {}
+
+    def run_percell() -> None:
+        results = [machine.solve(m, coeffs, eps=eps) for m, coeffs in cells]
+        iterations["percell"] = {r.label: r.iterations for r in results}
+        assert all(r.converged for r in results)
+
+    def run_batched() -> None:
+        results = machine.solve_schedule(cells, eps=eps)
+        iterations["batched"] = {r.label: r.iterations for r in results}
+        assert all(r.converged for r in results)
+
+    out = {
+        "percell_s": _time_call(run_percell, repeats),
+        "batched_s": _time_call(run_batched, repeats),
+    }
+    if iterations["batched"] != iterations["percell"]:
+        raise AssertionError(
+            "batched and per-cell FEM schedules disagree on iterations"
+        )
+    out["speedup"] = out["percell_s"] / out["batched_s"]
+    out["iterations"] = iterations
+    out["cells"] = len(TABLE3_SCHEDULE)
+    return out
+
+
 def build_report(
     meshes=(20, 41), repeats: int = 3, eps: float = 1e-6, table2_mesh: int | None = None
 ) -> dict:
@@ -222,6 +324,8 @@ def build_report(
         "pcg": {},
         "table2_sweep": {},
         "cyber_schedule": {},
+        "block_pcg": {},
+        "fem_schedule": {},
     }
     for a in meshes:
         problem = plate_problem(a)
@@ -237,12 +341,20 @@ def build_report(
             results["cyber_schedule"][key] = bench_cyber_schedule(
                 problem, repeats, eps
             )
+            results["block_pcg"][key] = bench_block_pcg(
+                problem, blocked, repeats, eps
+            )
+            results["fem_schedule"][key] = bench_fem_schedule(
+                problem, blocked, repeats, eps
+            )
 
     largest = f"a={max(meshes)}"
     table2_key = f"a={table2_mesh}"
     apply_speedup = results["apply_p_inv"][largest]["speedup"]
     table2_speedup = results["table2_sweep"][table2_key]["speedup"]
     cyber_batched_speedup = results["cyber_schedule"][table2_key]["speedup"]
+    block_pcg_speedup = results["block_pcg"][table2_key]["speedup"]
+    fem_schedule_speedup = results["fem_schedule"][table2_key]["speedup"]
     return {
         "bench": "kernels",
         "created_unix": time.time(),
@@ -267,10 +379,16 @@ def build_report(
             "table2_speedup": table2_speedup,
             "cyber_batched_speedup_min": TARGET_CYBER_BATCHED_SPEEDUP,
             "cyber_batched_speedup": cyber_batched_speedup,
+            "block_pcg_speedup_min": TARGET_BLOCK_PCG_SPEEDUP,
+            "block_pcg_speedup": block_pcg_speedup,
+            "fem_schedule_speedup_min": TARGET_FEM_SCHEDULE_SPEEDUP,
+            "fem_schedule_speedup": fem_schedule_speedup,
             "met": bool(
                 apply_speedup >= TARGET_APPLY_P_INV_SPEEDUP
                 and table2_speedup >= TARGET_TABLE2_SPEEDUP
                 and cyber_batched_speedup >= TARGET_CYBER_BATCHED_SPEEDUP
+                and block_pcg_speedup >= TARGET_BLOCK_PCG_SPEEDUP
+                and fem_schedule_speedup >= TARGET_FEM_SCHEDULE_SPEEDUP
             ),
         },
     }
@@ -296,7 +414,11 @@ def render(report: dict) -> str:
         f"table2 ≥{t['table2_speedup_min']:.0f}× "
         f"(measured {t['table2_speedup']:.1f}×), "
         f"batched cyber sweep ≥{t['cyber_batched_speedup_min']:.1f}× "
-        f"(measured {t['cyber_batched_speedup']:.1f}×) — "
+        f"(measured {t['cyber_batched_speedup']:.1f}×), "
+        f"block pcg ≥{t['block_pcg_speedup_min']:.1f}× "
+        f"(measured {t['block_pcg_speedup']:.1f}×), "
+        f"fem schedule ≥{t['fem_schedule_speedup_min']:.1f}× "
+        f"(measured {t['fem_schedule_speedup']:.1f}×) — "
         + ("MET" if t["met"] else "NOT MET"),
     ]
     return "\n".join(lines)
@@ -342,7 +464,11 @@ def check_against_baseline(
             f"≥{t['apply_p_inv_speedup_min']:g}×), table2 "
             f"{t['table2_speedup']:.1f}× (need ≥{t['table2_speedup_min']:g}×), "
             f"batched cyber sweep {t['cyber_batched_speedup']:.1f}× "
-            f"(need ≥{t['cyber_batched_speedup_min']:g}×)"
+            f"(need ≥{t['cyber_batched_speedup_min']:g}×), "
+            f"block pcg {t['block_pcg_speedup']:.1f}× "
+            f"(need ≥{t['block_pcg_speedup_min']:g}×), "
+            f"fem schedule {t['fem_schedule_speedup']:.1f}× "
+            f"(need ≥{t['fem_schedule_speedup_min']:g}×)"
         )
     return failures
 

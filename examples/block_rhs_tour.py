@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Block-RHS tour: several plate load cases in ONE lockstep block solve.
+
+A structure is rarely analyzed under a single load.  This example builds
+the paper's plate once, then solves four load cases — the distributed
+edge load plus three concentrated point loads at different free nodes —
+through one ``(n, 4)`` block solve (:meth:`SolverSession.solve_cell_block`,
+the :func:`repro.core.pcg.block_pcg` lockstep): every outer iteration
+runs one batched matrix product and one batched m-step SSOR application
+over all still-active columns, and each column retires individually the
+moment its own stopping test fires.
+
+The block path's contract is exactness, not approximation: per-column
+iterates and iteration counts are **bitwise identical** to solving each
+load case alone — the example verifies that — while the session compiles
+the coloring, the spectrum interval and the preconditioner factorization
+exactly once for any number of load cases.
+
+Run:  python examples/block_rhs_tour.py
+"""
+
+import numpy as np
+
+from repro import SolverPlan, SolverSession
+from repro.analysis import Table
+
+M = 4  # preconditioner steps (parametrized least-squares schedule)
+
+
+def load_cases(problem) -> tuple[np.ndarray, list[str]]:
+    """The assembled edge load plus three unit point loads (free dofs)."""
+    f = np.asarray(problem.f, dtype=float)
+    n = f.shape[0]
+    labels = ["edge load (paper)"]
+    columns = [f]
+    magnitude = float(np.max(np.abs(f)))
+    for frac, name in [(0.25, "point @ n/4"), (0.5, "point @ n/2"),
+                       (0.75, "point @ 3n/4")]:
+        case = np.zeros(n)
+        case[int(frac * n)] = magnitude
+        columns.append(case)
+        labels.append(name)
+    return np.stack(columns, axis=1), labels
+
+
+def main() -> None:
+    session = SolverSession.from_scenario(
+        "plate", plan=SolverPlan.single(M, True, eps=1e-7, block_rhs=4),
+        nrows=16,
+    )
+    problem = session.problem
+    F, labels = load_cases(problem)
+
+    block = session.solve_cell_block(M, True, F=F)
+    counts = session.stats.compile_counts()
+    assert counts["colorings"] == 1 and counts["applicator_builds"] == 1
+
+    table = Table(
+        f"Four load cases, one {M}P block solve "
+        f"({problem.mesh}, k = {block.k})",
+        ["load case", "iterations", "converged", "‖f − K u‖∞"],
+    )
+    for j, label in enumerate(labels):
+        resid = float(np.max(np.abs(F[:, j] - problem.k @ block.u[:, j])))
+        table.add_row(
+            label,
+            int(block.iterations[j]),
+            bool(block.result.converged[j]),
+            resid,
+        )
+    table.add_note("one compile (coloring/interval/factorization) served all "
+                   "columns; columns retire independently")
+    print(table.render())
+
+    # The block lockstep is bitwise identical to per-case solves.
+    for j in range(block.k):
+        solo = session.solve_cell(M, True, f=F[:, j])
+        assert solo.iterations == int(block.iterations[j])
+        assert np.array_equal(solo.u, block.column(j).u)
+    print("verified: per-column iterates and iteration counts are bitwise "
+          "identical to solo solves")
+    spread = f"{int(block.iterations.min())}–{int(block.iterations.max())}"
+    print(f"iteration spread across load cases: {spread} "
+          "(each column stopped on its own test)")
+
+
+if __name__ == "__main__":
+    main()

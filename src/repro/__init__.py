@@ -33,6 +33,7 @@ Package map
 """
 
 from repro.core import (
+    BlockPCGResult,
     DeltaInfNorm,
     IdentityPreconditioner,
     JacobiSplitting,
@@ -40,6 +41,7 @@ from repro.core import (
     PCGResult,
     RelativeResidual,
     SSORSplitting,
+    block_pcg,
     cg,
     condition_number,
     fit_report,
@@ -77,6 +79,7 @@ from repro.pipeline import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BlockPCGResult",
     "DeltaInfNorm",
     "IdentityPreconditioner",
     "JacobiSplitting",
@@ -84,6 +87,7 @@ __all__ = [
     "PCGResult",
     "RelativeResidual",
     "SSORSplitting",
+    "block_pcg",
     "cg",
     "condition_number",
     "fit_report",

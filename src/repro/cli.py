@@ -6,9 +6,11 @@ any code, all driven through the plan → compile → execute pipeline:
 ```
 python -m repro table1                      # α values (exact reproduction)
 python -m repro table2 --meshes 20,41       # CYBER Table 2 (batched sweep)
+python -m repro table2 --m auto             # + model-recommended m per mesh
 python -m repro table3                      # Finite Element Machine table
 python -m repro fig1 --rows 6 --cols 6      # plate coloring
 python -m repro solve --rows 20 --m 4 -P    # one m-step SSOR PCG solve
+python -m repro solve --rows 20 --m auto --rhs 4   # block solve, autotuned m
 python -m repro solve --scenario anisotropic --rows 24 --m 4 -P
 python -m repro cyber --rows 20 --m 5 -P    # one simulated CYBER solve
 python -m repro recommend --rows 20 --b-over-a 0.7
@@ -19,6 +21,15 @@ python -m repro scenarios                   # the ProblemSpec registry
 (the kernel dispatch of :mod:`repro.kernels`); ``solve`` and ``recommend``
 accept any registered ``--scenario``, with ``--rows`` mapped onto the
 scenario's own size parameter.
+
+Multi-RHS and autotuning: ``solve --rhs K`` solves ``K`` load cases in one
+:func:`repro.core.pcg.block_pcg` lockstep (the scenario's load plus K−1
+deterministic synthetic cases); ``--m auto`` picks m from the width-aware
+inequality-(4.2) cost model, calibrated on the Finite Element Machine's
+(A, B, B_marginal) when the scenario has a machine layout
+(:meth:`repro.analysis.models.PerformanceModel.from_fem_machine`).
+``table2 --m auto`` prints the model recommendation next to each mesh's
+measured optimum.
 """
 
 from __future__ import annotations
@@ -44,15 +55,39 @@ def _build_session(args, schedule=None):
     plan_kwargs = {
         "eps": getattr(args, "eps", 1e-6),
         "backend": getattr(args, "backend", None),
+        "block_rhs": max(getattr(args, "rhs", 1) or 1, 1),
     }
     if schedule is not None:
         plan = SolverPlan(schedule=schedule, **plan_kwargs)
     else:
+        m = getattr(args, "m", 0)
+        if not isinstance(m, int):  # "--m auto": resolved after compiling
+            m = 0
         plan = SolverPlan.single(
-            getattr(args, "m", 0), getattr(args, "parametrized", False),
-            **plan_kwargs,
+            m, getattr(args, "parametrized", False), **plan_kwargs
         )
     return SolverSession(spec.build(**params), plan=plan)
+
+
+def _fem_calibrated_model(session):
+    """(A, B, B_marginal) from the scenario's Finite Element Machine layout,
+    or ``None`` when the scenario has no plate mesh to lay out."""
+    from repro.analysis import PerformanceModel
+    from repro.fem.model_problems import PlateProblem
+
+    problem = session.problem
+    if not isinstance(problem, PlateProblem) or getattr(problem, "mesh", None) is None:
+        return None
+    return PerformanceModel.from_fem_machine(session.fem(1))
+
+
+def _rhs_block(problem, width: int):
+    """The scenario's own load plus ``width − 1`` deterministic synthetic
+    load cases (the shared construction of
+    :func:`repro.pipeline.synthetic_load_block`)."""
+    from repro.pipeline import synthetic_load_block
+
+    return synthetic_load_block(problem, width)
 
 
 def _cmd_table1(args) -> int:
@@ -83,17 +118,47 @@ def _cmd_table1(args) -> int:
 def _cmd_solve(args) -> int:
     session = _build_session(args)
     problem = session.problem
-    solve = session.solve_cell(args.m, args.parametrized)
-    resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
+    width = max(args.rhs, 1)
+    m, parametrized = args.m, args.parametrized
+    if m == "auto":
+        from repro.analysis import PerformanceModel
+        from repro.core.autotune import recommend_m
+
+        model = _fem_calibrated_model(session)
+        if model is None:
+            model = PerformanceModel(a=1.0, b=0.7)
+            source = "default B/A = 0.7; scenario has no FEM machine layout"
+        else:
+            source = "FEM-machine calibrated A, B, B_marginal"
+        rec = recommend_m(
+            session.interval, model, m_max=10, width=width, rel_tol=0.05
+        )
+        m, parametrized = rec.m, True
+        print(f"auto-tuned m = {m} for RHS width {width} ({source})")
     desc = getattr(problem, "mesh", None)
     if desc is None:
         desc = f"{type(problem).__name__}(n={problem.n})"
     print(f"problem : {desc}")
-    print(f"method  : m = {solve.label} ({solve.result.stop_rule})")
-    print(f"iterations: {solve.iterations}  converged: {solve.result.converged}")
-    print(f"‖f − K u‖∞: {resid:.3e}")
-    print(f"inner products: {solve.result.counter.inner_products}")
-    return 0 if solve.result.converged else 1
+    if width == 1:
+        solve = session.solve_cell(m, parametrized)
+        resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
+        print(f"method  : m = {solve.label} ({solve.result.stop_rule})")
+        print(f"iterations: {solve.iterations}  converged: {solve.result.converged}")
+        print(f"‖f − K u‖∞: {resid:.3e}")
+        print(f"inner products: {solve.result.counter.inner_products}")
+        return 0 if solve.result.converged else 1
+    F = _rhs_block(problem, width)
+    block = session.solve_cell_block(m, parametrized, F=F)
+    resid = float(np.max(np.abs(F - problem.k @ block.u)))
+    iters = ", ".join(str(int(i)) for i in block.iterations)
+    print(f"method  : m = {block.label} ({block.result.stop_rule}), "
+          f"block of {width} right-hand sides in one lockstep")
+    print(f"iterations per column: {iters}")
+    print(f"all converged: {block.result.all_converged}")
+    print(f"max ‖f − K u‖∞ over columns: {resid:.3e}")
+    print(f"compiles: {session.stats.compile_counts()} "
+          f"(one of each for any k); block solves: {session.stats.block_solves}")
+    return 0 if block.result.all_converged else 1
 
 
 def _cmd_cyber(args) -> int:
@@ -128,6 +193,7 @@ def _cmd_table2(args) -> int:
     # the path actually taken.
     batched = not args.per_column and args.backend != "reference"
     per_mesh = {}
+    sessions = {}
     all_converged = True
     for a in meshes:
         session = SolverSession(
@@ -137,6 +203,7 @@ def _cmd_table2(args) -> int:
         results = session.run_cyber_schedule(batched=batched)
         all_converged &= all(r.converged for r in results)
         per_mesh[a] = results
+        sessions[a] = session
 
     columns = ["m"]
     for a in meshes:
@@ -156,6 +223,27 @@ def _cmd_table2(args) -> int:
     table.add_note("T = simulated seconds (calibrated CYBER 203 cost model)")
     table.add_note("paper m=0 row: I = 271, 536, 788, 929 for a = 20, 41, 62, 80")
     print(table.render())
+    if args.m == "auto":
+        from repro.analysis.models import effective_optimal_m
+        from repro.core.autotune import recommend_m
+
+        width = max(args.rhs, 1)
+        for a in meshes:
+            session = sessions[a]
+            model = _fem_calibrated_model(session)
+            rec = recommend_m(
+                session.interval, model, m_max=10, width=width, rel_tol=0.05
+            )
+            measured = {
+                m: res.seconds
+                for (m, par), res in zip(session.plan.schedule, per_mesh[a])
+                if par
+            }
+            best = effective_optimal_m(measured)
+            print(
+                f"auto m (a={a}): model-recommended m = {rec.m} at RHS "
+                f"width {width} (measured table optimum m = {best})"
+            )
     return 0 if all_converged else 1
 
 
@@ -199,16 +287,26 @@ def _cmd_recommend(args) -> int:
 
     session = _build_session(args)
     interval = session.interval
-    model = PerformanceModel(a=1.0, b=args.b_over_a)
-    rec = recommend_m(interval, model, m_max=args.m_max)
-    table = Table(
-        f"Model-predicted cost (A = 1, B/A = {args.b_over_a}) on the "
-        f"{args.scenario} scenario (rows = {args.rows})",
-        ["m", "κ bound", "(A+mB)·√κ"],
+    width = max(args.rhs, 1)
+    model = PerformanceModel(
+        a=1.0, b=args.b_over_a, b_marginal=args.b_marginal
     )
+    rec = recommend_m(interval, model, m_max=args.m_max, width=width)
+    title = (
+        f"Model-predicted cost (A = 1, B/A = {args.b_over_a}) on the "
+        f"{args.scenario} scenario (rows = {args.rows})"
+    )
+    if width > 1:
+        title += f", RHS block width {width}"
+    table = Table(title, ["m", "κ bound", "(A·w+m·B_w)·√κ"])
     for m in sorted(rec.scores):
         table.add_row(m, rec.kappas[m], rec.scores[m])
     table.add_note(f"recommended m = {rec.m}")
+    if width > 1 and model.amortizes:
+        table.add_note(
+            f"effective per-RHS B/A at width {width}: "
+            f"{model.b_over_a_at(width):.3f} (width 1: {model.b_over_a:.3f})"
+        )
     print(table.render())
     return 0
 
@@ -242,13 +340,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def parse_m(value: str):
+        if value == "auto":
+            return "auto"
+        try:
+            return int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--m must be an integer or 'auto', got {value!r}"
+            ) from None
+
     def add_backend_arg(p):
         p.add_argument(
             "--backend", choices=list(BACKENDS), default=None,
             help="kernel backend for the numerics (default: vectorized)",
         )
 
-    def add_plate_args(p, with_m=True, with_scenario=False):
+    def add_rhs_arg(p):
+        p.add_argument(
+            "--rhs", type=int, default=1,
+            help="simultaneous right-hand sides: the block-PCG width K "
+            "(batched (n, K) lockstep; also the width --m auto tunes for)",
+        )
+
+    def add_plate_args(p, with_m=True, with_scenario=False, auto_m=False):
         p.add_argument("--rows", type=int, default=20, help="rows of nodes (a)")
         p.add_argument("--cols", type=int, default=None, help="columns (default a)")
         if with_scenario:
@@ -258,7 +373,16 @@ def main(argv: list[str] | None = None) -> int:
                 "size parameter)",
             )
         if with_m:
-            p.add_argument("--m", type=int, default=3, help="preconditioner steps")
+            if auto_m:
+                p.add_argument(
+                    "--m", type=parse_m, default=3,
+                    help="preconditioner steps, or 'auto' to pick m from "
+                    "the width-aware inequality-(4.2) cost model",
+                )
+            else:
+                p.add_argument(
+                    "--m", type=int, default=3, help="preconditioner steps"
+                )
             p.add_argument(
                 "-P", "--parametrized", action="store_true",
                 help="least-squares parametrized coefficients",
@@ -281,11 +405,18 @@ def main(argv: list[str] | None = None) -> int:
         help="run cell-at-a-time instead of the batched lockstep pass "
         "(identical results, slower)",
     )
+    p_table2.add_argument(
+        "--m", choices=["auto"], default=None,
+        help="'auto' appends the model-recommended m per mesh (FEM-machine "
+        "calibrated width-aware (4.2) model) next to the measured optimum",
+    )
+    add_rhs_arg(p_table2)
     add_backend_arg(p_table2)
 
     sub.add_parser("table3", help="Finite Element Machine table")
     p_solve = sub.add_parser("solve", help="one m-step SSOR PCG solve")
-    add_plate_args(p_solve, with_scenario=True)
+    add_plate_args(p_solve, with_scenario=True, auto_m=True)
+    add_rhs_arg(p_solve)
     add_backend_arg(p_solve)
     p_cyber = sub.add_parser("cyber", help="one simulated CYBER 203 solve")
     add_plate_args(p_cyber)
@@ -296,7 +427,13 @@ def main(argv: list[str] | None = None) -> int:
     add_plate_args(p_rec, with_m=False, with_scenario=True)
     p_rec.add_argument("--b-over-a", type=float, default=0.7,
                        help="preconditioner-step to CG-iteration cost ratio")
+    p_rec.add_argument(
+        "--b-marginal", type=float, default=None,
+        help="per-extra-RHS step cost inside a block (enables width "
+        "amortization in the recommendation; see PerformanceModel)",
+    )
     p_rec.add_argument("--m-max", type=int, default=10)
+    add_rhs_arg(p_rec)
     sub.add_parser("scenarios", help="list the ProblemSpec registry")
 
     args = parser.parse_args(argv)
@@ -314,6 +451,8 @@ def main(argv: list[str] | None = None) -> int:
         args.parametrized = False
     if not hasattr(args, "scenario"):
         args.scenario = "plate"
+    if not hasattr(args, "rhs"):
+        args.rhs = 1
     return handlers[args.command](args)
 
 

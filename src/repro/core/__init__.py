@@ -20,7 +20,7 @@ from repro.core.convergence import (
 )
 from repro.core.ichol import ICBreakdown, ICPreconditioner, ichol0
 from repro.core.mstep import IdentityPreconditioner, MStepPreconditioner
-from repro.core.pcg import PCGResult, cg, pcg
+from repro.core.pcg import BlockPCGResult, PCGResult, block_pcg, cg, pcg
 from repro.core.polynomial import (
     PAPER_TABLE1,
     FitReport,
@@ -61,7 +61,9 @@ __all__ = [
     "ichol0",
     "IdentityPreconditioner",
     "MStepPreconditioner",
+    "BlockPCGResult",
     "PCGResult",
+    "block_pcg",
     "cg",
     "pcg",
     "PAPER_TABLE1",

@@ -23,6 +23,14 @@ The driver is ordering- and storage-agnostic: ``k`` may be any object with
 ``@`` (scipy sparse, ndarray, LinearOperator) and the preconditioner any
 object with ``apply(r) → r̃``.  The machine simulators re-implement this
 same loop on their own kernels; tests pin their iterates to this reference.
+
+:func:`block_pcg` is the multi-right-hand-side form: ``k`` independent
+Algorithm-1 iterations advance in lockstep over an ``(n, k)`` block, the
+matrix product and the preconditioner application batched through the
+``(n, k)`` kernel paths while every per-column scalar (α, β, ρ, ‖Δu‖∞)
+is tracked vectorwise.  Columns retire individually as they converge;
+iterates, iteration counts and operation counters are *bitwise identical*
+to ``k`` separate :func:`pcg` calls.
 """
 
 from __future__ import annotations
@@ -33,10 +41,16 @@ import numpy as np
 
 from repro.core.convergence import DeltaInfNorm, StoppingRule
 from repro.core.mstep import IdentityPreconditioner
-from repro.kernels import matvec_into, supports_matvec_into, xpay_into
+from repro.kernels import (
+    matvec_accumulate,
+    matvec_into,
+    supports_matvec_block,
+    supports_matvec_into,
+    xpay_into,
+)
 from repro.util import OperationCounter, inf_norm, inner, require
 
-__all__ = ["PCGResult", "pcg", "cg"]
+__all__ = ["PCGResult", "BlockPCGResult", "pcg", "cg", "block_pcg"]
 
 
 @dataclass
@@ -58,8 +72,8 @@ class PCGResult:
         ``‖rᵏ‖₂`` per iteration if residual tracking was requested (costs an
         extra reduction per iteration on a real machine, hence optional).
     counter:
-        Outer-loop operation counts; preconditioner-internal work is tallied
-        on the preconditioner's own counter.
+        Operation counts for this solve; see :func:`pcg` for the exact
+        per-iteration charging contract.
     """
 
     u: np.ndarray
@@ -87,6 +101,20 @@ def pcg(
     callback=None,
 ) -> PCGResult:
     """Solve SPD ``K u = f`` by Algorithm 1.
+
+    **Counter contract.**  ``result.counter`` charges, per completed
+    iteration: one ``matvecs`` (the single ``K p`` product), one or two
+    ``inner_products`` (``(p, Kp)`` always; ``(r̃, r)`` only when steps
+    4–7 run, i.e. not on the final converged iteration), and one to three
+    ``axpys`` (the ``u``, ``r`` and ``p`` updates, the latter two skipped
+    once the stopping rule fires).  Startup adds one ``matvecs``
+    (``r⁰ = f − K u⁰``) and one ``inner_products`` (ρ₀).  Preconditioner
+    work is tallied on the preconditioner's own lifetime counter; the
+    slice belonging to *this solve* is merged into ``result.counter`` as
+    ``precond_applications``/``precond_steps`` plus any
+    preconditioner-specific ``extra`` keys (``p_solves``,
+    ``block_multiplies``, …).  :func:`block_pcg` reproduces these counts
+    column for column — the two are bitwise-reconcilable.
 
     Parameters
     ----------
@@ -224,6 +252,293 @@ def pcg(
 
 
 def cg(k, f, **kwargs) -> PCGResult:
-    """Standard conjugate gradients — Algorithm 1 with ``M = I``."""
+    """Standard conjugate gradients — Algorithm 1 with ``M = I``.
+
+    The :class:`PCGResult` counter contract of :func:`pcg` applies
+    unchanged (``M = I`` still charges one ``precond_applications`` per
+    application — the copy is a real vector operation on the machines).
+    For many right-hand sides at once see :func:`block_pcg`.
+    """
     kwargs.pop("preconditioner", None)
     return pcg(k, f, preconditioner=None, **kwargs)
+
+
+@dataclass
+class BlockPCGResult:
+    """Outcome of a :func:`block_pcg` solve over an ``(n, k)`` block.
+
+    Per-column state mirrors :class:`PCGResult` exactly — ``column(j)``
+    materializes the j-th column's record, bitwise identical (iterate,
+    histories, counter) to the one an independent ``pcg(k, F[:, j])``
+    would return.
+
+    Attributes
+    ----------
+    u:
+        Final iterates, one column per right-hand side (``(n, k)``).
+    iterations:
+        Per-column completed-iteration counts (``(k,)`` ints).
+    converged:
+        Per-column convergence flags (``(k,)`` bools).
+    delta_histories / residual_histories:
+        Per-column ``‖Δu‖∞`` (and optional ``‖r‖₂``) traces.
+    counters:
+        Per-column :class:`~repro.util.OperationCounter`\\ s, charged as if
+        each column had been solved alone.
+    """
+
+    u: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    delta_histories: list[list[float]]
+    residual_histories: list[list[float]]
+    counters: list[OperationCounter]
+    stop_rule: str = ""
+
+    @property
+    def k(self) -> int:
+        """Number of right-hand-side columns in the block."""
+        return int(self.u.shape[1])
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every column's stopping rule fired before ``maxiter``."""
+        return bool(np.all(self.converged))
+
+    def column(self, j: int) -> PCGResult:
+        """The j-th column's solve as a standalone :class:`PCGResult`."""
+        return PCGResult(
+            u=np.ascontiguousarray(self.u[:, j]),
+            iterations=int(self.iterations[j]),
+            converged=bool(self.converged[j]),
+            delta_history=list(self.delta_histories[j]),
+            residual_history=list(self.residual_histories[j]),
+            counter=self.counters[j],
+            stop_rule=self.stop_rule,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        done = int(np.count_nonzero(self.converged))
+        return (
+            f"BlockPCGResult({done}/{self.k} columns converged, "
+            f"iterations {self.iterations.min()}–{self.iterations.max()})"
+        )
+
+
+def _merge_precond_delta(
+    counters: list[OperationCounter], before: dict, after: dict, share: int
+) -> None:
+    """Split a preconditioner-counter delta evenly over ``share`` columns.
+
+    Every batched application charges each column the identical structural
+    amounts (the block kernels scale their counters by the column count),
+    so the per-column slice is exactly ``delta / share`` — the same merge
+    :func:`pcg` performs for a single column.
+    """
+    for key, value in after.items():
+        delta = value - before.get(key, 0)
+        if not delta:
+            continue
+        per_column = delta // share
+        for counter in counters:
+            if key == "precond_applications":
+                counter.precond_applications += per_column
+            elif key == "precond_steps":
+                counter.precond_steps += per_column
+            elif key not in ("inner_products", "matvecs", "axpys"):
+                counter.extra[key] = counter.extra.get(key, 0) + per_column
+
+
+def block_pcg(
+    k,
+    F: np.ndarray,
+    preconditioner=None,
+    u0: np.ndarray | None = None,
+    stopping: StoppingRule | None = None,
+    eps: float = 1e-6,
+    maxiter: int | None = None,
+    track_residual: bool = False,
+    callback=None,
+) -> BlockPCGResult:
+    """Solve SPD ``K U = F`` for every column of an ``(n, k)`` block.
+
+    All ``k`` Algorithm-1 iterations advance in lockstep: per outer
+    iteration the still-active columns' direction vectors are stacked and
+    multiplied by ``K`` in **one** batched product, and the preconditioner
+    is applied to the whole active residual block in one ``(n, k)`` pass
+    (the batched color-block sweeps of :mod:`repro.kernels`).  Per-column
+    scalars — α, β, ρ, ``‖Δu‖∞`` — are tracked vectorwise, and a column
+    whose stopping rule fires *retires*: its iterate freezes while the
+    remaining columns keep iterating on a narrower block.
+
+    Because every batched kernel is per-column bit-identical to its
+    single-vector form (same accumulation order — see
+    :func:`repro.kernels.ops.supports_matvec_block`), the iterates,
+    iteration counts, histories and operation counters are **bitwise
+    identical** to ``k`` independent :func:`pcg` runs; the test-suite pins
+    this.  Operators or preconditioners without a block-safe path fall
+    back to per-column application of the exact single-vector kernels —
+    slower, still bitwise.
+
+    Parameters mirror :func:`pcg`; differences:
+
+    F:
+        Right-hand-side block, shape ``(n, k)`` (any memory order — a
+        contiguous working copy is taken per column).
+    u0:
+        Starting block (default zero), shape ``(n, k)`` or a single
+        ``(n,)`` guess broadcast to every column.
+    stopping:
+        One rule instance shared by all columns (the stock rules are
+        stateless); per-column decisions are made independently.
+    callback:
+        Optional ``callback(iteration, column, u, delta_norm)`` hook,
+        invoked per active column per iteration.
+    """
+    F = np.asarray(F, dtype=float)
+    require(F.ndim == 2, "block_pcg needs an (n, k) right-hand-side block")
+    n, ncols = F.shape
+    require(ncols >= 1, "the block needs at least one column")
+    require(k.shape == (n, n), "operator/right-hand-side shape mismatch")
+    rule = stopping or DeltaInfNorm(eps=eps)
+    m = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    maxiter = maxiter if maxiter is not None else 5 * n + 100
+
+    block_matvec = supports_matvec_block(k)
+    block_precond = bool(getattr(m, "block_capable", False))
+    has_counter = hasattr(m, "counter")
+
+    # Per-column state: contiguous (n,) vectors, exactly what pcg() holds.
+    f_cols = [np.ascontiguousarray(F[:, j]) for j in range(ncols)]
+    if u0 is None:
+        u = [np.zeros(n) for _ in range(ncols)]
+    else:
+        u0 = np.asarray(u0, dtype=float)
+        u = [
+            np.array(u0 if u0.ndim == 1 else u0[:, j], dtype=float)
+            for j in range(ncols)
+        ]
+    counters = [OperationCounter() for _ in range(ncols)]
+    f_norms = [float(np.linalg.norm(f)) for f in f_cols]
+    delta_histories: list[list[float]] = [[] for _ in range(ncols)]
+    residual_histories: list[list[float]] = [[] for _ in range(ncols)]
+    iterations = np.zeros(ncols, dtype=int)
+    converged = np.zeros(ncols, dtype=bool)
+    rho = np.zeros(ncols)
+
+    # r⁰ = f − K u⁰ (one charged product per column, as in pcg; with the
+    # zero start K u⁰ is exactly zero, so r⁰ = f bitwise).
+    r: list[np.ndarray] = []
+    kp_buf = np.empty(n)
+    step = np.empty(n)
+    for j in range(ncols):
+        if u0 is None:
+            r.append(f_cols[j].copy())
+        else:
+            if supports_matvec_into(k, u[j], kp_buf):
+                matvec_into(k, u[j], kp_buf)
+                r.append(f_cols[j] - kp_buf)
+            else:
+                r.append(np.asarray(f_cols[j] - k @ u[j], dtype=float))
+        counters[j].matvecs += 1
+
+    def apply_precond(cols: list[int]) -> list[np.ndarray]:
+        """``M⁻¹`` on the active columns — one batched pass when possible."""
+        before = m.counter.as_dict() if has_counter else None
+        if len(cols) > 1 and block_precond:
+            r_block = np.stack([r[j] for j in cols], axis=1)
+            rt_block = np.asarray(m.apply(r_block), dtype=float)
+            out = [np.ascontiguousarray(rt_block[:, i]) for i in range(len(cols))]
+        else:
+            out = [np.array(m.apply(r[j]), dtype=float) for j in cols]
+        if before is not None:
+            _merge_precond_delta(
+                [counters[j] for j in cols], before, m.counter.as_dict(),
+                share=len(cols),
+            )
+        return out
+
+    rt = apply_precond(list(range(ncols)))
+    p = [np.array(x, dtype=float) for x in rt]
+    for i, j in enumerate(range(ncols)):
+        rho[j] = inner(rt[i], r[j])
+        counters[j].inner_products += 1
+        if track_residual:
+            residual_histories[j].append(float(np.linalg.norm(r[j])))
+
+    active = list(range(ncols))
+    for iteration in range(1, maxiter + 1):
+        if not active:
+            break
+        # ---- K p over the active block: one batched product -------------
+        if len(active) > 1 and block_matvec:
+            p_block = np.stack([p[j] for j in active], axis=1)
+            kp_block = np.zeros((n, len(active)))
+            matvec_accumulate(k, p_block, kp_block)
+            kp = [np.ascontiguousarray(kp_block[:, i]) for i in range(len(active))]
+        else:
+            kp = []
+            for j in active:
+                if supports_matvec_into(k, p[j], kp_buf):
+                    matvec_into(k, p[j], kp_buf)
+                    kp.append(kp_buf.copy())
+                else:
+                    kp.append(np.asarray(k @ p[j], dtype=float))
+        survivors: list[int] = []
+        for j, kpj in zip(active, kp):
+            counters[j].matvecs += 1
+            denom = inner(p[j], kpj)
+            counters[j].inner_products += 1
+            if denom <= 0.0:
+                iterations[j] = iteration
+                converged[j] = rho[j] == 0.0
+                continue
+            alpha = rho[j] / denom
+
+            np.multiply(p[j], alpha, out=step)  # step = α·p
+            u[j] += step
+            counters[j].axpys += 1
+            delta_norm = inf_norm(step)
+            delta_histories[j].append(delta_norm)
+            iterations[j] = iteration
+            if callback is not None:
+                callback(iteration, j, u[j], delta_norm)
+
+            if not rule.needs_residual and rule.converged(
+                delta_norm, r[j], f_norms[j]
+            ):
+                converged[j] = True
+                continue  # column retires; steps (4)–(7) skipped
+
+            np.multiply(kpj, alpha, out=step)  # scratch: α·Kp
+            r[j] -= step
+            counters[j].axpys += 1
+            if track_residual:
+                residual_histories[j].append(float(np.linalg.norm(r[j])))
+            if rule.needs_residual and rule.converged(
+                delta_norm, r[j], f_norms[j]
+            ):
+                converged[j] = True
+                continue
+            survivors.append(j)
+
+        if survivors:
+            rt = apply_precond(survivors)
+            for i, j in enumerate(survivors):
+                rho_new = inner(rt[i], r[j])
+                counters[j].inner_products += 1
+                beta = rho_new / rho[j]
+                rho[j] = rho_new
+                xpay_into(rt[i], beta, p[j])  # p = r̃ + β·p
+                counters[j].axpys += 1
+        active = survivors
+
+    return BlockPCGResult(
+        u=np.stack(u, axis=1),
+        iterations=iterations,
+        converged=converged,
+        delta_histories=delta_histories,
+        residual_histories=residual_histories,
+        counters=counters,
+        stop_rule=rule.describe(),
+    )

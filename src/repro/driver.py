@@ -187,7 +187,12 @@ def solve_mstep_ssor(
     Since the pipeline refactor this is a thin veneer over a one-cell
     :class:`~repro.pipeline.SolverSession` — multi-cell or multi-RHS work
     should build a session (and a :class:`~repro.pipeline.SolverPlan`)
-    directly so the compiled state is reused instead of rebuilt per call.
+    directly so the compiled state is reused instead of rebuilt per call;
+    for many right-hand sides use
+    :meth:`~repro.pipeline.SolverSession.solve_cell_block` /
+    :meth:`~repro.pipeline.SolverSession.execute_block`, which run one
+    :func:`repro.core.pcg.block_pcg` lockstep per cell (per-column
+    bitwise identical to repeated calls of this function).
     """
     require(m >= 0, "m must be non-negative")
     require(applicator in ("sweep", "splitting"),

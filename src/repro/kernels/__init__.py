@@ -27,6 +27,7 @@ from repro.kernels.ops import (
     matvec_accumulate,
     matvec_into,
     row_scale,
+    supports_matvec_block,
     supports_matvec_into,
     xpay_into,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "matvec_accumulate",
     "matvec_into",
     "row_scale",
+    "supports_matvec_block",
     "supports_matvec_into",
     "xpay_into",
     "ColorBlockMergedSweep",

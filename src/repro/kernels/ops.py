@@ -31,6 +31,7 @@ __all__ = [
     "xpay_into",
     "row_scale",
     "supports_matvec_into",
+    "supports_matvec_block",
     "matvec_into",
     "matvec_accumulate",
 ]
@@ -74,6 +75,23 @@ def supports_matvec_into(a, x: np.ndarray, out: np.ndarray) -> bool:
         and out.dtype == np.float64
         and x.flags.c_contiguous
         and out.flags.c_contiguous
+    )
+
+
+def supports_matvec_block(a) -> bool:
+    """Whether ``a @ X`` on an ``(n, k)`` block is per-column bitwise safe.
+
+    True only for float64 CSR with scipy's compiled ``csr_matvecs``
+    available — the one case where every column of the block product is
+    bit-identical to the single-vector ``csr_matvec`` (both accumulate each
+    row's nonzeros in index order).  :func:`repro.core.pcg.block_pcg` uses
+    this to decide between one batched product and a per-column loop.
+    """
+    return (
+        _csr_matvecs is not None
+        and sp.issparse(a)
+        and a.format == "csr"
+        and a.dtype == np.float64
     )
 
 

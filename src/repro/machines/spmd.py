@@ -71,6 +71,25 @@ class SPMDResult:
     n_procs: int
 
 
+class _SPMDCellState:
+    """Per-cell running state of a batched :meth:`SPMDSolver.solve_schedule`."""
+
+    __slots__ = (
+        "m", "coefficients", "padded", "ledger", "ud", "rd", "rtd", "pd",
+        "rho", "iterations", "converged",
+    )
+
+    def __init__(self, m: int, coefficients: np.ndarray | None):
+        self.m = m
+        self.coefficients = coefficients
+        self.padded = None  # α schedule zero-padded to the batch's max m
+        self.ledger = MessageLedger()
+        self.ud = self.rd = self.rtd = self.pd = None
+        self.rho = 0.0
+        self.iterations = 0
+        self.converged = False
+
+
 class _Plan:
     """One directed transfer: gather from the owner, fill the halo."""
 
@@ -220,8 +239,11 @@ class SPMDSolver:
             out[idx] = xd[p]
         return out
 
-    def new_halos(self) -> list[np.ndarray]:
-        return [np.zeros(idx.size) for idx in self.halo_idx]
+    def new_halos(self, width: int | None = None) -> list[np.ndarray]:
+        """Fresh halo buffers: ``(halo,)`` vectors or ``(halo, width)`` blocks."""
+        if width is None:
+            return [np.zeros(idx.size) for idx in self.halo_idx]
+        return [np.zeros((idx.size, width)) for idx in self.halo_idx]
 
     def exchange(
         self,
@@ -229,8 +251,19 @@ class SPMDSolver:
         halos: list[np.ndarray],
         kind: str,
         groups=None,
+        ledgers=None,
     ) -> None:
-        """Fill halo buffers from owners; optionally only some color groups."""
+        """Fill halo buffers from owners; optionally only some color groups.
+
+        ``xd``/``halos`` may hold ``(owned,)`` vectors or ``(owned, k)``
+        blocks (the batched lockstep schedule).  ``ledgers`` names the
+        :class:`MessageLedger`\\ s to book the transfer on — by default the
+        solver's own; the batched passes hand in one ledger per live cell
+        so each cell's account matches a solo solve's bitwise (a cell is
+        charged its own words, not the block's).
+        """
+        if ledgers is None:
+            ledgers = (self.ledger,)
         for plan in self.plans:
             if groups is None:
                 src_sel = plan.src_local
@@ -244,13 +277,18 @@ class SPMDSolver:
                 dst_sel = plan.dst_halo[mask]
                 count = int(np.count_nonzero(mask))
             halos[plan.dst][dst_sel] = xd[plan.src][src_sel]
-            self.ledger.log(kind, plan.src, plan.dst, count)
+            for ledger in ledgers:
+                ledger.log(kind, plan.src, plan.dst, count)
 
-    def matvec(self, xd: list[np.ndarray], halos: list[np.ndarray]) -> list[np.ndarray]:
-        self.exchange(xd, halos, kind="p_exchange")
+    def matvec(
+        self, xd: list[np.ndarray], halos: list[np.ndarray], ledgers=None
+    ) -> list[np.ndarray]:
+        self.exchange(xd, halos, kind="p_exchange", ledgers=ledgers)
         out = []
         for p in range(self.n_procs):
-            local = np.concatenate([xd[p], halos[p]]) if halos[p].size else xd[p]
+            local = (
+                np.concatenate([xd[p], halos[p]]) if halos[p].size else xd[p]
+            )
             out.append(self.local_k[p] @ local)
         return out
 
@@ -271,9 +309,10 @@ class SPMDSolver:
     def _solve_color(self, p, c, x_sum, y_c, alpha, rd, rt_local):
         rows_c = self.rows_of_group[p][c]
         if rows_c.size == 0:
-            return np.empty(0)
+            return np.empty((0,) + rd[p].shape[1:])
         rhs = x_sum + y_c + alpha * rd[p][rows_c]
-        return rhs / self.local_diag[p][rows_c]
+        diag = self.local_diag[p][rows_c]
+        return rhs / (diag if rhs.ndim == 1 else diag[:, None])
 
     def _row_sum(self, p, c, rt_full, js) -> np.ndarray:
         # The same per-color accumulation the kernel layer's color-block
@@ -281,7 +320,7 @@ class SPMDSolver:
         # compiled CSR matvec accumulates straight into the sum (identical
         # arithmetic to `acc += block @ x`, one temporary less per block).
         rows_c = self.rows_of_group[p][c]
-        acc = np.zeros(rows_c.size)
+        acc = np.zeros((rows_c.size,) + rt_full.shape[1:])
         for j in js:
             block = self.sweep_blocks[p][c].get(j)
             if block is not None:
@@ -289,26 +328,60 @@ class SPMDSolver:
         return acc
 
     def precondition(
-        self, coefficients: np.ndarray, rd: list[np.ndarray]
+        self,
+        coefficients: np.ndarray,
+        rd: list[np.ndarray],
+        ledgers=None,
+        column_steps=None,
     ) -> list[np.ndarray]:
-        """Distributed Algorithm 3 (merged Conrad–Wallach sweeps)."""
+        """Distributed Algorithm 3 (merged Conrad–Wallach sweeps).
+
+        ``rd`` holds per-processor ``(owned,)`` vectors — one residual —
+        or ``(owned, k)`` blocks (``k`` cells advancing in lockstep), with
+        ``coefficients`` then ``(m,)`` shared or ``(m, k)`` per-column.
+        Cells of different m batch by zero-padding their schedules at the
+        top: a padded column's state stays exactly zero until its own
+        first step, so every column is bit-identical to a solo sweep.
+        ``ledgers`` (one per column) books each exchange on the cells it
+        belongs to; ``column_steps`` gives each column's *real* step count
+        so padding steps — which move only zeros — charge nothing to the
+        cells still waiting (their solo runs never performed them).
+        """
         nc = self.nc
-        m = coefficients.size
+        coefficients = np.asarray(coefficients, dtype=float)
+        m = coefficients.shape[0]
         n_procs = self.n_procs
+        tail = rd[0].shape[1:] if rd else ()
+        width = tail[0] if tail else None
         rt = [np.zeros_like(rd[p]) for p in range(n_procs)]
-        halos = self.new_halos()
+        halos = self.new_halos(width)
         # rt_full[p]: local [owned | halo] view of r̃, refreshed lazily.
         rt_full = [
             np.concatenate([rt[p], halos[p]]) if halos[p].size else rt[p].copy()
             for p in range(n_procs)
         ]
         y = [
-            [np.zeros(self.rows_of_group[p][c].size) for c in range(nc)]
+            [
+                np.zeros((self.rows_of_group[p][c].size,) + tail)
+                for c in range(nc)
+            ]
             for p in range(n_procs)
         ]
 
-        def refresh(groups, kind):
-            self.exchange(rt, halos, kind=kind, groups=groups)
+        def step_ledgers(s):
+            """The ledgers of the cells whose sweep is live at step ``s``."""
+            if ledgers is None or column_steps is None:
+                return ledgers
+            return [
+                ledger
+                for ledger, steps in zip(ledgers, column_steps)
+                if s > m - steps
+            ]
+
+        def refresh(groups, kind, s):
+            self.exchange(
+                rt, halos, kind=kind, groups=groups, ledgers=step_ledgers(s)
+            )
             for p in range(n_procs):
                 owned_count = self.owned_idx[p].size
                 if halos[p].size:
@@ -322,10 +395,10 @@ class SPMDSolver:
             rt[p][rows_c] = values
             rt_full[p][rows_c] = values
 
-        node_color_pairs = [(2 * k, 2 * k + 1) for k in range(nc // 2)]
-
         for s in range(1, m + 1):
-            alpha = float(coefficients[m - s])
+            alpha = coefficients[m - s]
+            if coefficients.ndim == 1:
+                alpha = float(alpha)
             # ---- forward sweep, exchanging after each node-color pair ----
             for c in range(nc):
                 for p in range(n_procs):
@@ -334,7 +407,7 @@ class SPMDSolver:
                     set_color(p, c, values)
                     y[p][c] = x
                 if c % 2 == 1:  # node-color pair (c−1, c) complete
-                    refresh(groups=[c - 1, c], kind="precond_fwd")
+                    refresh(groups=[c - 1, c], kind="precond_fwd", s=s)
             # ---- backward sweep over interior colors -------------------
             for c in range(nc - 2, 0, -1):
                 for p in range(n_procs):
@@ -343,16 +416,19 @@ class SPMDSolver:
                     set_color(p, c, values)
                     y[p][c] = x
                 if c % 2 == 0:  # after Gu (c = nc−2) and Bu (c = 2) solves
-                    refresh(groups=[c, c + 1], kind="precond_bwd")
+                    refresh(groups=[c, c + 1], kind="precond_bwd", s=s)
             for p in range(n_procs):
-                y[p][nc - 1] = np.zeros(self.rows_of_group[p][nc - 1].size)
+                y[p][nc - 1] = np.zeros(
+                    (self.rows_of_group[p][nc - 1].size,) + tail
+                )
             # ---- first color: close the step or prepare the next -------
             for p in range(n_procs):
                 x = -self._row_sum(p, 0, rt_full[p], range(1, nc))
                 if s == m:
-                    values = (x + alpha * rd[p][self.rows_of_group[p][0]]) / (
-                        self.local_diag[p][self.rows_of_group[p][0]]
-                    )
+                    rows_0 = self.rows_of_group[p][0]
+                    diag = self.local_diag[p][rows_0]
+                    rhs = x + alpha * rd[p][rows_0]
+                    values = rhs / (diag if rhs.ndim == 1 else diag[:, None])
                     set_color(p, 0, values)
                 else:
                     y[p][0] = x
@@ -426,3 +502,152 @@ class SPMDSolver:
             ledger=self.ledger,
             n_procs=self.n_procs,
         )
+
+    def solve_schedule(
+        self,
+        cells,
+        eps: float = 1e-6,
+        maxiter: int | None = None,
+    ) -> list[SPMDResult]:
+        """All schedule cells through **one** distributed lockstep pass.
+
+        The SPMD analogue of the CYBER and Finite Element Machine
+        ``solve_schedule`` passes: ``cells`` is a sequence of
+        ``(m, coefficients)`` pairs, every cell's Algorithm 1 advancing
+        one outer iteration per pass.  The still-active cells' direction
+        vectors are stacked into per-processor ``(owned, k)`` blocks for
+        one batched halo exchange + local product, and all preconditioned
+        cells share **one** distributed Algorithm-3 sweep per iteration
+        (per-column α schedules, smaller m zero-padded — see
+        :meth:`precondition`).  Each cell owns a
+        :class:`MessageLedger`; batched exchanges book each cell exactly
+        the words its solo solve would move, so per-cell iteration
+        counts, iterates and message ledgers are bitwise identical to
+        per-cell :meth:`solve` runs (pinned in the tests).
+        """
+        states: list[_SPMDCellState] = []
+        for m, coefficients in cells:
+            require(m >= 0, "m must be non-negative")
+            if m >= 1:
+                coefficients = (
+                    np.ones(m)
+                    if coefficients is None
+                    else np.asarray(coefficients, float)
+                )
+                require(coefficients.size == m, "need one coefficient per step")
+            else:
+                coefficients = None
+            states.append(_SPMDCellState(m, coefficients))
+        max_m = max((st.m for st in states if st.m >= 1), default=0)
+        for st in states:
+            if st.m >= 1:
+                st.padded = np.zeros(max_m)
+                st.padded[: st.m] = st.coefficients
+
+        n_procs = self.n_procs
+        f_mc = self.ordering.permute_vector(np.asarray(self.problem.f, dtype=float))
+        maxiter = maxiter if maxiter is not None else 5 * self.n + 100
+
+        def precondition_cells(active: list[_SPMDCellState]) -> None:
+            pre = []
+            for st in active:
+                if st.m == 0:
+                    st.rtd = [x.copy() for x in st.rd]
+                else:
+                    pre.append(st)
+            if not pre:
+                return
+            if len(pre) == 1:
+                st = pre[0]
+                st.rtd = self.precondition(
+                    st.coefficients, st.rd, ledgers=[st.ledger]
+                )
+                return
+            rd_block = [
+                np.stack([st.rd[p] for st in pre], axis=1)
+                for p in range(n_procs)
+            ]
+            coeffs = np.stack([st.padded for st in pre], axis=1)
+            rt_block = self.precondition(
+                coeffs,
+                rd_block,
+                ledgers=[st.ledger for st in pre],
+                column_steps=[st.m for st in pre],
+            )
+            for i, st in enumerate(pre):
+                st.rtd = [
+                    np.ascontiguousarray(rt_block[p][:, i])
+                    for p in range(n_procs)
+                ]
+
+        # Startup: u⁰ = 0, r⁰ = f, r̃⁰ = M⁻¹r⁰, p⁰ = r̃⁰, ρ₀ — the exact
+        # per-cell sequence of :meth:`solve`.
+        for st in states:
+            fd = self.scatter(f_mc)
+            st.ud = [np.zeros_like(x) for x in fd]
+            st.rd = [x.copy() for x in fd]
+        precondition_cells(states)
+        for st in states:
+            st.pd = [x.copy() for x in st.rtd]
+            st.rho = self.dot(st.rtd, st.rd)
+
+        active = list(states)
+        for iteration in range(1, maxiter + 1):
+            if not active:
+                break
+            if len(active) == 1:
+                st = active[0]
+                halos = self.new_halos()
+                kpd_cols = [self.matvec(st.pd, halos, ledgers=[st.ledger])]
+            else:
+                p_block = [
+                    np.stack([st.pd[p] for st in active], axis=1)
+                    for p in range(n_procs)
+                ]
+                halos = self.new_halos(len(active))
+                kp_block = self.matvec(
+                    p_block, halos, ledgers=[st.ledger for st in active]
+                )
+                kpd_cols = [
+                    [
+                        np.ascontiguousarray(kp_block[p][:, i])
+                        for p in range(n_procs)
+                    ]
+                    for i in range(len(active))
+                ]
+            survivors: list[_SPMDCellState] = []
+            for st, kpd in zip(active, kpd_cols):
+                denom = self.dot(st.pd, kpd)
+                if denom <= 0.0:
+                    st.iterations = iteration
+                    st.converged = st.rho == 0.0
+                    continue
+                alpha = st.rho / denom
+                stepd = [alpha * st.pd[p] for p in range(n_procs)]
+                st.ud = self.axpy(1.0, stepd, st.ud)
+                delta = self.inf_norm(stepd)
+                st.iterations = iteration
+                if delta < eps:
+                    st.converged = True
+                    continue
+                st.rd = self.axpy(-alpha, kpd, st.rd)
+                survivors.append(st)
+            if survivors:
+                precondition_cells(survivors)
+                for st in survivors:
+                    rho_new = self.dot(st.rtd, st.rd)
+                    beta = rho_new / st.rho
+                    st.rho = rho_new
+                    st.pd = self.axpy(beta, st.pd, st.rtd)
+            active = survivors
+
+        return [
+            SPMDResult(
+                iterations=st.iterations,
+                converged=st.converged,
+                u_natural=self.ordering.unpermute_vector(self.gather(st.ud)),
+                ledger=st.ledger,
+                n_procs=n_procs,
+            )
+            for st in states
+        ]

@@ -194,6 +194,10 @@ class MStepSSOR:
     counter: OperationCounter = field(default_factory=OperationCounter)
     workspace: WorkspacePool = field(default_factory=WorkspacePool, repr=False)
 
+    #: ``(n, k)`` block applications are per-column bitwise identical to
+    #: single-vector ones (see :func:`repro.core.pcg.block_pcg`).
+    block_capable = True
+
     def __post_init__(self) -> None:
         self.coefficients = np.atleast_1d(np.asarray(self.coefficients, dtype=float))
         require(self.coefficients.ndim == 1, "coefficients must be a vector")
@@ -207,6 +211,10 @@ class MStepSSOR:
     def apply(self, r: np.ndarray) -> np.ndarray:
         """``M_m⁻¹ r`` via the Conrad–Wallach merged sweeps (Algorithm 2).
 
+        Accepts a vector ``(n,)`` or an ``(n, k)`` block of right-hand
+        sides (one batched pass, per-column bit-identical to single
+        applications); counters are charged **per column**, so a block
+        application books exactly what ``k`` solo applications would.
         The inner loops run off the :class:`BlockedMatrix`'s cached sweep
         tables (per-color block lists, no dict probing) and out of pooled
         workspace buffers: the result vector, the per-color ``y``
@@ -289,13 +297,14 @@ class MStepSSOR:
                 else:
                     y[0], xs[0] = xs[0], y[0]
 
-        self.counter.precond_applications += 1
-        self.counter.precond_steps += m
+        ncols = 1 if r.ndim == 1 else int(r.shape[1])
+        self.counter.precond_applications += ncols
+        self.counter.precond_steps += m * ncols
         self.counter.extra["block_multiplies"] = (
-            self.counter.extra.get("block_multiplies", 0) + multiplies
+            self.counter.extra.get("block_multiplies", 0) + multiplies * ncols
         )
         self.counter.extra["diag_solves"] = (
-            self.counter.extra.get("diag_solves", 0) + solves
+            self.counter.extra.get("diag_solves", 0) + solves * ncols
         )
         return rt
 

@@ -19,8 +19,9 @@ from repro.pipeline.problems import (
     build_scenario,
     register_scenario,
     scenario,
+    synthetic_load_block,
 )
-from repro.pipeline.session import SessionStats, SolverSession
+from repro.pipeline.session import BlockMStepSolve, SessionStats, SolverSession
 
 __all__ = [
     "SolverPlan",
@@ -30,6 +31,8 @@ __all__ = [
     "build_scenario",
     "register_scenario",
     "scenario",
+    "synthetic_load_block",
+    "BlockMStepSolve",
     "SessionStats",
     "SolverSession",
 ]

@@ -49,6 +49,17 @@ class SolverPlan:
         ``"vectorized"`` or ``"reference"``).
     maxiter:
         Outer-iteration cap (``None`` → solver default).
+    block_rhs:
+        The right-hand-side block width this plan is sized for — the
+        ``k`` of the batched multi-RHS path
+        (:meth:`~repro.pipeline.session.SolverSession.execute_block`).
+        ``1`` is the classic one-vector-at-a-time numerics; larger values
+        declare that executions will carry ``k`` simultaneous right-hand
+        sides, which the width-aware (4.2) cost model uses to price the
+        amortized preconditioner step when autotuning ``m``
+        (:func:`repro.core.autotune.recommend_m` with ``width=k``).
+        Executions may still pass blocks of any width; this is the
+        *declared* width for planning, not a cap.
     """
 
     schedule: tuple[tuple[int, bool], ...]
@@ -59,6 +70,7 @@ class SolverPlan:
     applicator: str = "sweep"
     backend: str | None = None
     maxiter: int | None = None
+    block_rhs: int = 1
 
     def __post_init__(self) -> None:
         schedule = tuple((int(m), bool(p)) for m, p in self.schedule)
@@ -69,6 +81,7 @@ class SolverPlan:
         require(self.omega > 0, "omega must be positive")
         require(self.applicator in ("sweep", "splitting"),
                 "applicator must be 'sweep' or 'splitting'")
+        require(self.block_rhs >= 1, "block_rhs must be at least 1")
 
     # ------------------------------------------------------------- factories
     @classmethod

@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.fem import (
     anisotropic_problem,
     l_shaped_problem,
@@ -49,7 +51,27 @@ __all__ = [
     "scenario",
     "build_scenario",
     "available_scenarios",
+    "synthetic_load_block",
 ]
+
+
+def synthetic_load_block(problem, width: int, seed: int = 1983):
+    """An ``(n, width)`` right-hand-side block of load cases for ``problem``.
+
+    Column 0 is the problem's own assembled load; the remaining columns
+    are deterministic synthetic cases (seeded normal vectors scaled to
+    the load's magnitude).  The one construction shared by the CLI's
+    ``--rhs K`` path and the block-PCG benchmarks, so all multi-RHS
+    drivers exercise identical blocks.
+    """
+    require(width >= 1, "width must be at least 1")
+    f = np.asarray(problem.f, dtype=float)
+    rng = np.random.default_rng(seed)
+    scale = float(np.max(np.abs(f))) or 1.0
+    cols = [f] + [
+        rng.normal(size=f.shape[0]) * scale for _ in range(width - 1)
+    ]
+    return np.stack(cols, axis=1)
 
 
 @dataclass(frozen=True)

@@ -12,12 +12,20 @@ serves:
 * :meth:`solve_cell` / :meth:`execute` — driver-level solves (the engine
   behind :func:`repro.driver.solve_mstep_ssor`), any number of cells and
   right-hand sides against one compiled state;
+* :meth:`solve_cell_block` / :meth:`execute_block` — the multi-RHS
+  numerics: all ``k`` columns of an ``(n, k)`` right-hand-side block
+  advance through **one** :func:`repro.core.pcg.block_pcg` lockstep per
+  cell, batched through the compiled kernels, per-column bitwise
+  identical to ``k`` separate solves (:meth:`execute_many` routes
+  through this path);
 * :meth:`cyber` / :meth:`run_cyber_schedule` — the CYBER 203/205
   simulator, including the batched lockstep pass that runs a whole
   Table-2 schedule through **one** simulator sweep
   (:meth:`repro.machines.cyber.CyberMachine.solve_schedule`);
-* :meth:`fem` / :meth:`fem_solve` — Finite Element Machine solves fed
-  from the session's cached applicators.
+* :meth:`fem` / :meth:`fem_solve` / :meth:`run_fem_schedule` — Finite
+  Element Machine solves fed from the session's cached applicators,
+  including the batched Table-3 lockstep pass
+  (:meth:`repro.machines.fem_machine.FiniteElementMachine.solve_schedule`).
 
 :attr:`stats` counts the compile-level artifacts (colorings, interval
 measurements, applicator factorizations, machine layouts) so tests can
@@ -32,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.convergence import StoppingRule
-from repro.core.pcg import pcg
+from repro.core.pcg import BlockPCGResult, block_pcg, pcg
 from repro.driver import (
     MStepSolve,
     build_blocked_system,
@@ -41,11 +49,12 @@ from repro.driver import (
     ssor_interval,
 )
 from repro.machines import CYBER_203, CyberMachine, FiniteElementMachine
+from repro.multicolor.blocked import BlockedMatrix
 from repro.pipeline.plan import SolverPlan
 from repro.pipeline.problems import build_scenario
 from repro.util import require
 
-__all__ = ["SessionStats", "SolverSession"]
+__all__ = ["BlockMStepSolve", "SessionStats", "SolverSession"]
 
 
 @dataclass
@@ -54,8 +63,11 @@ class SessionStats:
 
     ``colorings``/``intervals``/``applicator_builds``/``machine_builds``
     count the expensive once-per-session steps; ``solves`` counts the
-    cheap per-execution work.  A correctly compiled session serving many
-    cells and right-hand sides increments only ``solves``.
+    cheap per-execution work (one per right-hand side, so a ``k``-wide
+    block solve adds ``k``) and ``block_solves`` the batched
+    :func:`~repro.core.pcg.block_pcg` passes those columns rode in on.
+    A correctly compiled session serving many cells and right-hand sides
+    increments only ``solves``/``block_solves`` — one compile for any k.
     """
 
     colorings: int = 0
@@ -64,6 +76,7 @@ class SessionStats:
     applicator_builds: int = 0
     machine_builds: int = 0
     solves: int = 0
+    block_solves: int = 0
 
     def compile_counts(self) -> dict[str, int]:
         return {
@@ -73,6 +86,56 @@ class SessionStats:
             "applicator_builds": self.applicator_builds,
             "machine_builds": self.machine_builds,
         }
+
+
+@dataclass
+class BlockMStepSolve:
+    """Full record of one m-step SSOR PCG **block** solve (``k`` RHS).
+
+    The block analogue of :class:`repro.driver.MStepSolve`:
+    :attr:`result` is the :class:`~repro.core.pcg.BlockPCGResult` of the
+    lockstep pass and :attr:`u` holds the ``(n, k)`` iterates in natural
+    ordering.  :meth:`column` materializes any column as a plain
+    :class:`~repro.driver.MStepSolve`, bitwise identical to the record an
+    independent single-RHS solve of that column would produce.
+    """
+
+    result: BlockPCGResult
+    u: np.ndarray  # (n, k), natural ordering
+    m: int
+    parametrized: bool
+    coefficients: np.ndarray | None
+    interval: tuple[float, float] | None
+    blocked: BlockedMatrix
+
+    @property
+    def k(self) -> int:
+        """Number of right-hand-side columns."""
+        return self.result.k
+
+    @property
+    def iterations(self) -> np.ndarray:
+        """Per-column completed-iteration counts."""
+        return self.result.iterations
+
+    @property
+    def label(self) -> str:
+        """Table-2/3 row label: ``0``, ``1``, …, or ``2P``, ``3P``, …"""
+        if self.m == 0:
+            return "0"
+        return f"{self.m}P" if self.parametrized else f"{self.m}"
+
+    def column(self, j: int) -> MStepSolve:
+        """The j-th right-hand side's solve as a standalone record."""
+        return MStepSolve(
+            result=self.result.column(j),
+            u=np.ascontiguousarray(self.u[:, j]),
+            m=self.m,
+            parametrized=self.parametrized,
+            coefficients=self.coefficients,
+            interval=self.interval,
+            blocked=self.blocked,
+        )
 
 
 class SolverSession:
@@ -230,6 +293,76 @@ class SolverSession:
             blocked=blocked,
         )
 
+    def solve_cell_block(
+        self,
+        m: int,
+        parametrized: bool = False,
+        F: np.ndarray | None = None,
+        eps: float | None = None,
+        stopping: StoppingRule | None = None,
+        maxiter: int | None = None,
+        track_residual: bool = False,
+        applicator: str | None = None,
+        backend: str | None = None,
+    ) -> BlockMStepSolve:
+        """One cell against an ``(n, k)`` block of right-hand sides.
+
+        The multi-RHS analogue of :meth:`solve_cell`: all ``k`` columns
+        advance through one :func:`~repro.core.pcg.block_pcg` lockstep
+        against the compiled caches — one batched matrix product and one
+        batched preconditioner application per outer iteration, columns
+        retiring individually as they converge.  Per-column iterates,
+        iteration counts and counters are bitwise identical to ``k``
+        separate :meth:`solve_cell` calls (the acceptance contract of the
+        block path, pinned in the tests).
+
+        ``F`` may be any memory order (Fortran-ordered or strided blocks
+        are handled); ``None`` solves the problem's own load as a
+        single-column block.
+        """
+        require(m >= 0, "m must be non-negative")
+        blocked = self.blocked
+        ordering = blocked.ordering
+        if F is None:
+            F = np.asarray(self.problem.f, dtype=float)[:, None]
+        F = np.asarray(F, dtype=float)
+        if F.ndim == 1:
+            F = F[:, None]
+        require(F.ndim == 2, "F must be an (n, k) block of right-hand sides")
+        f_mc = np.ascontiguousarray(ordering.permute_vector(F))
+
+        interval = self._interval
+        coefficients = None
+        preconditioner = None
+        if m >= 1:
+            if parametrized:
+                interval = self.interval
+            coefficients = self.coefficients(m, parametrized)
+            preconditioner = self.applicator(
+                m, parametrized, applicator=applicator, backend=backend
+            )
+
+        result = block_pcg(
+            blocked.permuted,
+            f_mc,
+            preconditioner=preconditioner,
+            eps=eps if eps is not None else self.plan.eps,
+            stopping=stopping,
+            maxiter=maxiter if maxiter is not None else self.plan.maxiter,
+            track_residual=track_residual,
+        )
+        self.stats.solves += result.k
+        self.stats.block_solves += 1
+        return BlockMStepSolve(
+            result=result,
+            u=ordering.unpermute_vector(result.u),
+            m=m,
+            parametrized=parametrized,
+            coefficients=coefficients,
+            interval=interval,
+            blocked=blocked,
+        )
+
     def execute(self, f: np.ndarray | None = None) -> list[MStepSolve]:
         """Every plan cell in order against one right-hand side."""
         self.compile()
@@ -238,10 +371,38 @@ class SolverSession:
             for m, parametrized in self.plan.schedule
         ]
 
-    def execute_many(self, rhs_list) -> list[list[MStepSolve]]:
-        """Every plan cell for every right-hand side (one compile serves all)."""
+    def execute_block(self, F: np.ndarray | None = None) -> list[BlockMStepSolve]:
+        """Every plan cell in order against an ``(n, k)`` block of RHS.
+
+        One compile serves any ``k``: the session's coloring, interval,
+        coefficients and factorized applicators are built exactly once
+        regardless of the block width (``stats.compile_counts()`` is the
+        structural witness; the tests assert it).
+        """
         self.compile()
-        return [self.execute(f=f) for f in rhs_list]
+        return [
+            self.solve_cell_block(m, parametrized, F=F)
+            for m, parametrized in self.plan.schedule
+        ]
+
+    def execute_many(self, rhs_list) -> list[list[MStepSolve]]:
+        """Every plan cell for every right-hand side (one compile serves all).
+
+        Since the block-PCG refactor the right-hand sides are stacked into
+        one ``(n, k)`` block and each cell runs a single
+        :func:`~repro.core.pcg.block_pcg` lockstep over all of them; the
+        returned per-RHS records are bitwise identical to the former
+        solve-at-a-time path (block-PCG's per-column contract).
+        """
+        rhs = [np.asarray(f, dtype=float) for f in rhs_list]
+        if not rhs:
+            self.compile()
+            return []
+        block_solves = self.execute_block(np.stack(rhs, axis=1))
+        return [
+            [cell.column(j) for cell in block_solves]
+            for j in range(len(rhs))
+        ]
 
     # ------------------------------------------------------------------ machines
     def schedule_cells(self) -> list[tuple[int, np.ndarray | None]]:
@@ -282,6 +443,47 @@ class SolverSession:
         eps = eps if eps is not None else self.plan.eps
         if batched and self.plan.backend != "reference":
             return machine.solve_schedule(cells, eps=eps, maxiter=maxiter)
+        return [
+            machine.solve(
+                m, coeffs, eps=eps, maxiter=maxiter, backend=self.plan.backend
+            )
+            for m, coeffs in cells
+        ]
+
+    def run_fem_schedule(
+        self,
+        n_procs: int = 1,
+        batched: bool = True,
+        eps: float | None = None,
+        maxiter: int | None = None,
+        **kwargs,
+    ):
+        """The plan's full schedule on the Finite Element Machine.
+
+        ``batched=True`` (default) runs every cell through **one**
+        lockstep simulator pass — the FEM analogue of
+        :meth:`run_cyber_schedule`, batching the active cells' direction
+        vectors and residuals into ``(n, k)`` blocks
+        (:meth:`~repro.machines.fem_machine.FiniteElementMachine.solve_schedule`)
+        — bitwise identical to the per-cell path in iteration counts,
+        charged clocks, communication ledgers and iterates.
+        ``batched=False`` (or a ``"reference"`` plan backend) keeps the
+        cell-at-a-time pass for pinning.
+
+        Both passes use the FEM solve path's ``"splitting"`` applicator
+        realization regardless of the plan's ``applicator`` (as
+        :meth:`fem_solve` does — it is the machine's native path, and
+        all realizations apply the same operator); the batched pass's
+        factorized splitting is cached on the machine, which the session
+        itself caches, so repeated schedule runs rebuild nothing.
+        """
+        machine = self.fem(n_procs, **kwargs)
+        cells = self.schedule_cells()
+        eps = eps if eps is not None else self.plan.eps
+        if batched and self.plan.backend != "reference":
+            return machine.solve_schedule(
+                cells, eps=eps, maxiter=maxiter, backend=self.plan.backend
+            )
         return [
             machine.solve(
                 m, coeffs, eps=eps, maxiter=maxiter, backend=self.plan.backend

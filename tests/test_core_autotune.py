@@ -110,3 +110,66 @@ class TestRecommendM:
     def test_m_max_validation(self, interval):
         with pytest.raises(ValueError):
             predicted_cost_curve(interval, PerformanceModel(a=1.0, b=1.0), m_max=0)
+
+
+class TestWidthAwareRecommendation:
+    """ISSUE 4: tuning m for a block of simultaneous right-hand sides."""
+
+    def test_wider_blocks_never_recommend_fewer_steps(self, interval):
+        # Amortization lowers the effective per-RHS step cost, so the
+        # (4.2) break-even moves toward more steps as the block widens.
+        model = PerformanceModel(a=1.0, b=1.5, b_marginal=0.15)
+        picks = [
+            recommend_m(interval, model, m_max=10, width=w).m
+            for w in (1, 2, 4, 8, 16)
+        ]
+        assert picks == sorted(picks)
+        assert picks[-1] > picks[0]
+
+    def test_width_one_is_the_paper_model(self, interval):
+        model = PerformanceModel(a=1.0, b=0.8, b_marginal=0.2)
+        base = recommend_m(interval, model, m_max=8)
+        explicit = recommend_m(interval, model, m_max=8, width=1)
+        assert base.scores == explicit.scores
+        assert base.m == explicit.m
+
+    def test_width_recorded_on_recommendation(self, interval):
+        model = PerformanceModel(a=1.0, b=1.0, b_marginal=0.3)
+        rec = recommend_m(interval, model, m_max=6, width=4)
+        assert rec.width == 4
+
+    def test_non_amortizing_model_scales_uniformly(self, interval):
+        # Without b_marginal the whole curve scales by the width — the
+        # argmin cannot move.
+        model = PerformanceModel(a=1.0, b=1.0)
+        assert (
+            recommend_m(interval, model, m_max=8, width=8).m
+            == recommend_m(interval, model, m_max=8).m
+        )
+
+    def test_plateau_tolerance_picks_smaller_m(self, interval):
+        model = PerformanceModel(a=1.0, b=0.3)
+        strict = recommend_m(interval, model, m_max=10)
+        plateau = recommend_m(interval, model, m_max=10, rel_tol=0.05)
+        assert plateau.m <= strict.m
+        assert plateau.scores == strict.scores
+
+    def test_fem_machine_calibration_feeds_the_curve(self):
+        from repro.driver import build_blocked_system, ssor_interval
+        from repro.machines import FiniteElementMachine
+
+        problem = plate_problem(8)
+        blocked = build_blocked_system(problem)
+        machine = FiniteElementMachine(problem, 4, blocked=blocked)
+        model = PerformanceModel.from_fem_machine(machine)
+        assert model.amortizes  # per-phase setup amortizes over the block
+        rec = recommend_m(
+            ssor_interval(blocked), model, m_max=10, width=4, rel_tol=0.05
+        )
+        assert 1 <= rec.m <= 10
+
+    def test_width_validation(self, interval):
+        with pytest.raises(ValueError):
+            recommend_m(
+                interval, PerformanceModel(a=1.0, b=1.0), width=0
+            )

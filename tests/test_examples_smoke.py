@@ -55,6 +55,13 @@ class TestExamplesRun:
         assert "anisotropic" in out
         assert "variable-plate" in out
 
+    def test_block_rhs_tour(self, capsys):
+        load_example("block_rhs_tour").main()
+        out = capsys.readouterr().out
+        assert "Four load cases" in out
+        assert "bitwise" in out
+        assert "iteration spread" in out
+
 
 class TestHeavyExamplesImportable:
     @pytest.mark.parametrize(

@@ -1,0 +1,199 @@
+"""FEM and SPMD lockstep schedule passes (ISSUE 4).
+
+The acceptance contract: ``FiniteElementMachine.solve_schedule`` runs the
+whole Table-3 schedule through one batched pass with per-cell clocks,
+communication ledgers and iterates **bitwise identical** to the per-cell
+``solve`` path, across every cell; ``SPMDSolver.solve_schedule`` does the
+same for the real distributed engine, down to the per-cell message
+ledgers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.driver import (
+    TABLE3_SCHEDULE,
+    build_blocked_system,
+    mstep_coefficients,
+    ssor_interval,
+)
+from repro.machines import FiniteElementMachine
+from repro.machines.spmd import SPMDSolver
+from repro.machines.topology import Assignment, ProcessorGrid
+from repro.pipeline import SolverPlan, SolverSession, build_scenario
+
+EPS = 1e-6
+
+
+@pytest.fixture(scope="module")
+def plate():
+    problem = build_scenario("plate", nrows=8)
+    blocked = build_blocked_system(problem)
+    interval = ssor_interval(blocked)
+    cells = [
+        (m, mstep_coefficients(m, par, interval) if m >= 1 else None)
+        for m, par in TABLE3_SCHEDULE
+    ]
+    return problem, blocked, cells
+
+
+class TestFEMSolveSchedule:
+    @pytest.fixture(scope="class", params=[1, 5])
+    def results(self, request, plate):
+        problem, blocked, cells = plate
+        machine = FiniteElementMachine(problem, request.param, blocked=blocked)
+        per_cell = [machine.solve(m, c, eps=EPS) for m, c in cells]
+        batched = machine.solve_schedule(cells, eps=EPS)
+        return per_cell, batched
+
+    def test_iterations_and_labels_bitwise(self, results):
+        per_cell, batched = results
+        assert [r.iterations for r in batched] == [r.iterations for r in per_cell]
+        assert [r.label for r in batched] == [r.label for r in per_cell]
+        assert all(r.converged for r in batched)
+
+    def test_clocks_bitwise(self, results):
+        per_cell, batched = results
+        for pc, b in zip(per_cell, batched):
+            assert b.seconds == pc.seconds
+            assert b.compute_seconds == pc.compute_seconds
+            assert b.comm_seconds == pc.comm_seconds
+            assert b.reduction_seconds == pc.reduction_seconds
+            assert b.flag_seconds == pc.flag_seconds
+
+    def test_comm_ledgers_bitwise(self, results):
+        per_cell, batched = results
+        for pc, b in zip(per_cell, batched):
+            assert b.total_records == pc.total_records
+            assert b.total_words == pc.total_words
+
+    def test_iterates_bitwise(self, results):
+        per_cell, batched = results
+        for pc, b in zip(per_cell, batched):
+            assert np.array_equal(b.u_natural, pc.u_natural)
+
+    def test_covers_every_table3_cell(self, results):
+        _, batched = results
+        assert len(batched) == len(TABLE3_SCHEDULE)
+
+
+class TestFEMScheduleEdgeCases:
+    @pytest.fixture(scope="class")
+    def machine(self, plate):
+        problem, blocked, _ = plate
+        return FiniteElementMachine(problem, 2, blocked=blocked)
+
+    def test_empty_schedule(self, machine):
+        assert machine.solve_schedule([]) == []
+
+    def test_single_cell_matches_solve(self, machine):
+        single = machine.solve(3, np.ones(3), eps=EPS)
+        [batched] = machine.solve_schedule([(3, np.ones(3))], eps=EPS)
+        assert batched.iterations == single.iterations
+        assert batched.seconds == single.seconds
+        assert np.array_equal(batched.u_natural, single.u_natural)
+
+    def test_duplicate_m_different_coefficients(self, machine):
+        coeffs_a = np.ones(2)
+        coeffs_b = np.array([1.7, 0.4])
+        pair = machine.solve_schedule([(2, coeffs_a), (2, coeffs_b)], eps=EPS)
+        singles = [machine.solve(2, coeffs_a, eps=EPS),
+                   machine.solve(2, coeffs_b, eps=EPS)]
+        for b, s in zip(pair, singles):
+            assert b.iterations == s.iterations
+            assert b.seconds == s.seconds
+            assert np.array_equal(b.u_natural, s.u_natural)
+
+    def test_maxiter_cap(self, machine):
+        [res] = machine.solve_schedule([(0, None)], eps=1e-14, maxiter=3)
+        capped = machine.solve(0, None, eps=1e-14, maxiter=3)
+        assert res.iterations == 3 and not res.converged
+        assert res.seconds == capped.seconds
+
+    def test_labels_override(self, machine):
+        results = machine.solve_schedule(
+            [(1, None), (2, None)], eps=EPS, labels=["first", None]
+        )
+        assert results[0].label == "first"
+        assert results[1].label == "2"
+
+    def test_rejects_negative_m(self, machine):
+        with pytest.raises(ValueError):
+            machine.solve_schedule([(-1, None)])
+
+
+class TestSessionFEMSchedule:
+    def test_run_fem_schedule_matches_per_cell(self):
+        session = SolverSession.from_scenario(
+            "plate", plan=SolverPlan.table3(eps=EPS), nrows=8
+        )
+        per_cell = session.run_fem_schedule(n_procs=5, batched=False)
+        batched = session.run_fem_schedule(n_procs=5, batched=True)
+        assert session.stats.machine_builds == 1  # one layout serves both
+        for pc, b in zip(per_cell, batched):
+            assert b.iterations == pc.iterations
+            assert b.seconds == pc.seconds
+            assert np.array_equal(b.u_natural, pc.u_natural)
+
+    def test_reference_backend_plan_falls_back_to_per_cell(self):
+        plan = SolverPlan(
+            schedule=((0, False), (2, True)), eps=1e-4, backend="reference"
+        )
+        session = SolverSession.from_scenario("plate", plan=plan, nrows=6)
+        results = session.run_fem_schedule(n_procs=2)
+        vec = SolverSession.from_scenario(
+            "plate", plan=plan.with_(backend="vectorized"), nrows=6
+        ).run_fem_schedule(n_procs=2)
+        assert [r.iterations for r in results] == [r.iterations for r in vec]
+        for a, b in zip(results, vec):
+            assert a.seconds == b.seconds  # charged clock is structural
+
+
+class TestSPMDSolveSchedule:
+    @pytest.fixture(scope="class")
+    def distributed(self, plate):
+        problem, blocked, cells = plate
+        grid = ProcessorGrid.for_count(4, problem.mesh)
+        assignment = Assignment.rectangles(problem.mesh, grid)
+        return problem, blocked, assignment, cells
+
+    @pytest.fixture(scope="class")
+    def results(self, distributed):
+        problem, blocked, assignment, cells = distributed
+        solos = []
+        for m, c in cells:
+            # Fresh solver per solo run: the ledger is solver-lifetime.
+            solver = SPMDSolver(problem, assignment, blocked=blocked)
+            solos.append(solver.solve(m, c, eps=EPS))
+        batched = SPMDSolver(problem, assignment, blocked=blocked).solve_schedule(
+            cells, eps=EPS
+        )
+        return solos, batched
+
+    def test_iterations_and_iterates_bitwise(self, results):
+        solos, batched = results
+        for so, b in zip(solos, batched):
+            assert b.iterations == so.iterations
+            assert b.converged == so.converged
+            assert np.array_equal(b.u_natural, so.u_natural)
+
+    def test_message_ledgers_bitwise(self, results):
+        # Each cell's ledger must book exactly what its solo solve moved —
+        # a batched exchange charges each live cell its own words only.
+        solos, batched = results
+        for so, b in zip(solos, batched):
+            assert b.ledger.words_by_kind == so.ledger.words_by_kind
+            assert b.ledger.words_by_pair == so.ledger.words_by_pair
+            assert b.ledger.messages == so.ledger.messages
+
+    def test_single_cell_schedule_matches_solve(self, distributed):
+        problem, blocked, assignment, _ = distributed
+        solo = SPMDSolver(problem, assignment, blocked=blocked).solve(
+            3, np.ones(3), eps=EPS
+        )
+        [batched] = SPMDSolver(
+            problem, assignment, blocked=blocked
+        ).solve_schedule([(3, np.ones(3))], eps=EPS)
+        assert batched.iterations == solo.iterations
+        assert np.array_equal(batched.u_natural, solo.u_natural)
+        assert batched.ledger.words_by_kind == solo.ledger.words_by_kind

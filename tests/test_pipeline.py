@@ -371,6 +371,98 @@ class TestSolveScheduleDirect:
             machine.solve_schedule([(-1, None)])
 
 
+# ------------------------------------------------------- multi-RHS numerics
+class TestSessionBlockExecution:
+    """ISSUE 4: block-PCG as a first-class numeric path in the session."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        plan = SolverPlan(
+            schedule=[(0, False), (3, True)], eps=1e-7, block_rhs=3
+        )
+        return SolverSession.from_scenario("plate", plan=plan, nrows=8).compile()
+
+    @pytest.fixture(scope="class")
+    def F(self, session):
+        rng = np.random.default_rng(17)
+        return np.stack(
+            [np.asarray(session.problem.f, float),
+             rng.normal(size=session.problem.n),
+             rng.normal(size=session.problem.n)],
+            axis=1,
+        )
+
+    def test_block_rhs_plan_field(self):
+        assert SolverPlan.single(2, block_rhs=4).block_rhs == 4
+        with pytest.raises(ValueError):
+            SolverPlan.single(2, block_rhs=0)
+
+    def test_solve_cell_block_columns_bitwise(self, session, F):
+        block = session.solve_cell_block(3, True, F=F)
+        assert block.k == 3 and block.label == "3P"
+        assert block.result.all_converged
+        for j in range(3):
+            solo = session.solve_cell(3, True, f=F[:, j])
+            col = block.column(j)
+            assert col.iterations == solo.iterations
+            assert np.array_equal(col.u, solo.u)
+            assert (
+                col.result.counter.as_dict() == solo.result.counter.as_dict()
+            )
+
+    def test_one_compile_for_any_k(self, session, F):
+        before = session.stats.compile_counts()
+        solves_before = session.stats.solves
+        blocks_before = session.stats.block_solves
+        runs = session.execute_block(F)
+        assert session.stats.compile_counts() == before  # nothing rebuilt
+        assert session.stats.solves == solves_before + 2 * 3  # 2 cells × k
+        assert session.stats.block_solves == blocks_before + 2
+        assert len(runs) == 2
+        for cell in runs:
+            assert cell.result.all_converged
+
+    def test_execute_many_routes_through_block_pcg(self, session, F):
+        rhs = [F[:, j] for j in range(3)]
+        blocks_before = session.stats.block_solves
+        per_rhs = session.execute_many(rhs)
+        # One block_pcg pass per cell, not one solve per cell × RHS.
+        assert session.stats.block_solves == blocks_before + 2
+        assert len(per_rhs) == 3 and all(len(r) == 2 for r in per_rhs)
+        for f, solves in zip(rhs, per_rhs):
+            for solve in solves:
+                assert solve.result.converged
+                resid = np.max(np.abs(f - session.problem.k @ solve.u))
+                assert resid < 1e-4
+
+    def test_execute_many_matches_per_rhs_execution(self):
+        # The rewired path must reproduce the old solve-at-a-time records.
+        plan = SolverPlan(schedule=[(2, True)], eps=1e-7)
+        rng = np.random.default_rng(23)
+        a = SolverSession.from_scenario("plate", plan=plan, nrows=6)
+        b = SolverSession.from_scenario("plate", plan=plan, nrows=6)
+        rhs = [a.problem.f, rng.normal(size=a.problem.n)]
+        via_block = a.execute_many(rhs)
+        via_cells = [b.execute(f=f) for f in rhs]
+        for row_a, row_b in zip(via_block, via_cells):
+            for sa, sb in zip(row_a, row_b):
+                assert sa.iterations == sb.iterations
+                assert np.array_equal(sa.u, sb.u)
+
+    def test_fortran_ordered_block_accepted(self, session, F):
+        c_order = session.solve_cell_block(3, True, F=F)
+        f_order = session.solve_cell_block(3, True, F=np.asfortranarray(F))
+        assert np.array_equal(c_order.u, f_order.u)
+        assert np.array_equal(c_order.iterations, f_order.iterations)
+
+    def test_default_block_is_the_problem_load(self, session):
+        block = session.solve_cell_block(3, True)
+        assert block.k == 1
+        solo = session.solve_cell(3, True)
+        assert int(block.iterations[0]) == solo.iterations
+        assert np.array_equal(block.column(0).u, solo.u)
+
+
 class TestPerColumnCoefficientKernels:
     """The (m, k) coefficient extension of the batched sweep kernels."""
 

@@ -25,11 +25,17 @@ Package map
 ``repro.analysis``    The performance model (4.1)/(4.2) and reporting.
 ``repro.driver``      One-call m-step multicolor SSOR PCG solves.
 ``repro.pipeline``    The plan → compile → execute pipeline: the scenario
-                      registry (``ProblemSpec``), declarative solve plans
+                      registry (``ProblemSpec``), the multi-load workload
+                      registry (``WorkloadSpec``), declarative solve plans
                       (``SolverPlan``), and compiled sessions
                       (``SolverSession``) serving many schedule cells and
                       right-hand sides — including batched lockstep
                       machine-simulator sweeps.
+``repro.parallel``    Real parallelism: the worker-process executor that
+                      shards block-PCG column groups
+                      (``sharded_block_pcg``) and machine-schedule cells
+                      (``sharded_schedule``) across local cores, bitwise
+                      identical to the serial paths.
 """
 
 from repro.core import (
@@ -67,13 +73,18 @@ from repro.fem import (
     variable_plate_problem,
 )
 from repro.multicolor import BlockedMatrix, MStepSSOR, MulticolorOrdering
+from repro.parallel import sharded_block_pcg, sharded_schedule
 from repro.pipeline import (
     ProblemSpec,
     SolverPlan,
     SolverSession,
+    WorkloadSpec,
     available_scenarios,
+    available_workloads,
     build_scenario,
+    build_workload,
     register_scenario,
+    register_workload,
 )
 
 __version__ = "1.0.0"
@@ -113,8 +124,14 @@ __all__ = [
     "ProblemSpec",
     "SolverPlan",
     "SolverSession",
+    "WorkloadSpec",
     "available_scenarios",
+    "available_workloads",
     "build_scenario",
+    "build_workload",
     "register_scenario",
+    "register_workload",
+    "sharded_block_pcg",
+    "sharded_schedule",
     "__version__",
 ]

@@ -88,6 +88,26 @@ class PerformanceModel:
         b_width2 = machine.preconditioner_block_seconds(1, 2)
         return cls(a=a, b=b, b_marginal=b_width2 - b)
 
+    @classmethod
+    def from_cyber_machine(cls, machine) -> "PerformanceModel":
+        """Calibrate (A, B, B_marginal) from the CYBER vector simulator.
+
+        The vector-machine counterpart of :meth:`from_fem_machine`:
+        ``machine`` is a :class:`~repro.machines.CyberMachine`, whose
+        ``iteration_costs`` charge the (4.1) quantities on the pipeline
+        clock — ``A`` dominated by the partial-sum inner products, ``B``
+        by the per-diagonal multiply-add streams of Algorithm 2 (both
+        structural constants, hence no ``m`` argument here).  The
+        marginal cost is the width-derivative of the batched block
+        application (one extra right-hand side streams through already-
+        started pipes), clipped into the model's ``[0, B]`` domain.
+        """
+        a, b = machine.iteration_costs()
+        marginal = machine.preconditioner_block_seconds(
+            1, 2
+        ) - machine.preconditioner_block_seconds(1, 1)
+        return cls(a=a, b=b, b_marginal=min(max(marginal, 0.0), b))
+
     @property
     def b_over_a(self) -> float:
         return self.b / self.a
@@ -97,34 +117,61 @@ class PerformanceModel:
         """Whether the model carries block-width (batched-RHS) information."""
         return self.b_marginal is not None and self.b_marginal < self.b
 
-    def step_cost(self, width: int = 1) -> float:
-        """One preconditioner step on an ``(n, width)`` block."""
+    @staticmethod
+    def shard_width(width: int, shards: int = 1) -> int:
+        """Columns carried by the widest shard when a ``width``-wide block
+        is split over ``shards`` parallel workers (contiguous groups)."""
         require(width >= 1, "width must be at least 1")
+        require(shards >= 1, "shards must be at least 1")
+        return -(-width // min(shards, width))  # ceil
+
+    def step_cost(self, width: int = 1, shards: int = 1) -> float:
+        """One preconditioner step on an ``(n, width)`` block.
+
+        ``shards > 1`` prices the step when the block's column groups run
+        on that many parallel workers (:mod:`repro.parallel`): wall-clock
+        is the *widest shard's* step — ``b + (⌈width/shards⌉ − 1)·
+        b_marginal`` — since the groups advance concurrently.
+        """
+        require(width >= 1, "width must be at least 1")
+        width = self.shard_width(width, shards)
         if width == 1:
             return self.b
         marginal = self.b_marginal if self.b_marginal is not None else self.b
         return self.b + (width - 1) * marginal
 
-    def b_over_a_at(self, width: int = 1) -> float:
+    def b_over_a_at(self, width: int = 1, shards: int = 1) -> float:
         """Effective per-right-hand-side ``B/A`` for a width-wide block.
 
         The outer iteration's A is charged per right-hand side while the
         preconditioner step amortizes, so batching moves the (4.2)
-        decision toward more steps.
+        decision toward more steps.  ``shards > 1`` prices the sharded
+        execution: each worker's block is narrower, so the per-RHS
+        amortization (and the pull toward larger m) weakens while the
+        wall-clock drops.
         """
-        return (self.step_cost(width) / width) / self.a
+        width_per_shard = self.shard_width(width, shards)
+        return (self.step_cost(width, shards) / width_per_shard) / self.a
 
-    def predicted_time(self, m: int, n_m: float, width: int = 1) -> float:
+    def predicted_time(
+        self, m: int, n_m: float, width: int = 1, shards: int = 1
+    ) -> float:
         """(4.1) for a given iteration count.
 
         ``width > 1`` prices a batch of ``width`` right-hand sides
         advancing in lockstep: ``(A·width + m·step_cost(width))·N_m``.
-        ``width = 1`` is exactly the paper's model.
+        ``width = 1`` is exactly the paper's model.  ``shards > 1``
+        prices the block sharded over that many parallel workers — the
+        wall-clock of the widest shard,
+        ``(A·⌈width/shards⌉ + m·step_cost(width, shards))·N_m``.
         """
         require(m >= 0, "m must be non-negative")
         if width == 1:
             return (self.a + m * self.b) * n_m
-        return (self.a * width + m * self.step_cost(width)) * n_m
+        width_per_shard = self.shard_width(width, shards)
+        return (
+            self.a * width_per_shard + m * self.step_cost(width, shards)
+        ) * n_m
 
     def preconditioner_block_time(self, m: int, width: int = 1) -> float:
         """Modeled seconds of one batched m-step application.

@@ -7,14 +7,17 @@ any code, all driven through the plan → compile → execute pipeline:
 python -m repro table1                      # α values (exact reproduction)
 python -m repro table2 --meshes 20,41       # CYBER Table 2 (batched sweep)
 python -m repro table2 --m auto             # + model-recommended m per mesh
+python -m repro table2 --workers 2          # schedule cells across processes
 python -m repro table3                      # Finite Element Machine table
 python -m repro fig1 --rows 6 --cols 6      # plate coloring
 python -m repro solve --rows 20 --m 4 -P    # one m-step SSOR PCG solve
 python -m repro solve --rows 20 --m auto --rhs 4   # block solve, autotuned m
+python -m repro solve --workload plate-service --workers 2   # sharded block
 python -m repro solve --scenario anisotropic --rows 24 --m 4 -P
 python -m repro cyber --rows 20 --m 5 -P    # one simulated CYBER solve
 python -m repro recommend --rows 20 --b-over-a 0.7
 python -m repro scenarios                   # the ProblemSpec registry
+python -m repro workloads                   # the WorkloadSpec registry
 ```
 
 ``solve``/``cyber``/``table2`` accept ``--backend vectorized|reference``
@@ -24,12 +27,20 @@ scenario's own size parameter.
 
 Multi-RHS and autotuning: ``solve --rhs K`` solves ``K`` load cases in one
 :func:`repro.core.pcg.block_pcg` lockstep (the scenario's load plus K−1
-deterministic synthetic cases); ``--m auto`` picks m from the width-aware
-inequality-(4.2) cost model, calibrated on the Finite Element Machine's
-(A, B, B_marginal) when the scenario has a machine layout
-(:meth:`repro.analysis.models.PerformanceModel.from_fem_machine`).
+deterministic synthetic cases); ``--workload NAME`` swaps in a registered
+multi-load case family (:class:`repro.pipeline.WorkloadSpec`) instead.
+``--m auto`` picks m from the width-aware inequality-(4.2) cost model —
+``--auto-model fem`` (default) calibrates on the Finite Element Machine,
+``--auto-model cyber`` on the CYBER vector timing model
+(:meth:`repro.analysis.models.PerformanceModel.from_cyber_machine`).
 ``table2 --m auto`` prints the model recommendation next to each mesh's
 measured optimum.
+
+Real parallelism: ``solve --workers W`` shards the right-hand-side block's
+column groups across worker processes
+(:func:`repro.parallel.sharded_block_pcg`), and ``table2 --workers W``
+fans the schedule's cells likewise (:func:`repro.parallel.sharded_schedule`)
+— results bitwise identical to the serial paths in both cases.
 """
 
 from __future__ import annotations
@@ -69,15 +80,22 @@ def _build_session(args, schedule=None):
     return SolverSession(spec.build(**params), plan=plan)
 
 
-def _fem_calibrated_model(session):
-    """(A, B, B_marginal) from the scenario's Finite Element Machine layout,
-    or ``None`` when the scenario has no plate mesh to lay out."""
+def _calibrated_model(session, which: str = "fem"):
+    """(A, B, B_marginal) calibrated from a simulated machine layout.
+
+    ``which`` names the machine the (4.1) quantities are charged on:
+    ``"fem"`` (the Finite Element Machine, the default) or ``"cyber"``
+    (the CYBER vector timing model).  Returns ``None`` when the scenario
+    has no plate mesh to lay a machine out on.
+    """
     from repro.analysis import PerformanceModel
     from repro.fem.model_problems import PlateProblem
 
     problem = session.problem
     if not isinstance(problem, PlateProblem) or getattr(problem, "mesh", None) is None:
         return None
+    if which == "cyber":
+        return PerformanceModel.from_cyber_machine(session.cyber())
     return PerformanceModel.from_fem_machine(session.fem(1))
 
 
@@ -116,22 +134,37 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_solve(args) -> int:
+    workload_spec = None
+    if args.workload is not None:
+        from repro.pipeline import workload
+
+        workload_spec = workload(args.workload)
+        if workload_spec.scenario != args.scenario:
+            print(
+                f"workload {workload_spec.name!r} is registered for scenario "
+                f"{workload_spec.scenario!r}, not {args.scenario!r}",
+                file=sys.stderr,
+            )
+            return 2
+        args.rhs = workload_spec.width
     session = _build_session(args)
     problem = session.problem
     width = max(args.rhs, 1)
+    workers = max(args.workers, 1)
     m, parametrized = args.m, args.parametrized
     if m == "auto":
         from repro.analysis import PerformanceModel
         from repro.core.autotune import recommend_m
 
-        model = _fem_calibrated_model(session)
+        model = _calibrated_model(session, args.auto_model)
         if model is None:
             model = PerformanceModel(a=1.0, b=0.7)
-            source = "default B/A = 0.7; scenario has no FEM machine layout"
+            source = "default B/A = 0.7; scenario has no machine layout"
         else:
-            source = "FEM-machine calibrated A, B, B_marginal"
+            source = f"{args.auto_model.upper()}-machine calibrated A, B, B_marginal"
         rec = recommend_m(
-            session.interval, model, m_max=10, width=width, rel_tol=0.05
+            session.interval, model, m_max=10, width=width,
+            shards=workers, rel_tol=0.05,
         )
         m, parametrized = rec.m, True
         print(f"auto-tuned m = {m} for RHS width {width} ({source})")
@@ -139,7 +172,10 @@ def _cmd_solve(args) -> int:
     if desc is None:
         desc = f"{type(problem).__name__}(n={problem.n})"
     print(f"problem : {desc}")
-    if width == 1:
+    if workload_spec is not None:
+        print(f"workload: {workload_spec.name} "
+              f"({', '.join(workload_spec.case_labels)})")
+    if width == 1 and workload_spec is None:
         solve = session.solve_cell(m, parametrized)
         resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
         print(f"method  : m = {solve.label} ({solve.result.stop_rule})")
@@ -147,17 +183,30 @@ def _cmd_solve(args) -> int:
         print(f"‖f − K u‖∞: {resid:.3e}")
         print(f"inner products: {solve.result.counter.inner_products}")
         return 0 if solve.result.converged else 1
-    F = _rhs_block(problem, width)
-    block = session.solve_cell_block(m, parametrized, F=F)
+    # A workload always solves through the block path, whatever its width
+    # — its columns are the loads, never the scenario's own f.
+    if workload_spec is not None:
+        F = workload_spec.build_block(problem)
+    else:
+        F = _rhs_block(problem, width)
+    sharding = workers if workers > 1 else None
+    block = session.solve_cell_block(m, parametrized, F=F, sharding=sharding)
     resid = float(np.max(np.abs(F - problem.k @ block.u)))
     iters = ", ".join(str(int(i)) for i in block.iterations)
+    mode = (
+        f"sharded over {workers} worker processes"
+        if workers > 1
+        else "one lockstep"
+    )
     print(f"method  : m = {block.label} ({block.result.stop_rule}), "
-          f"block of {width} right-hand sides in one lockstep")
+          f"block of {width} right-hand sides in {mode}")
     print(f"iterations per column: {iters}")
     print(f"all converged: {block.result.all_converged}")
     print(f"max ‖f − K u‖∞ over columns: {resid:.3e}")
     print(f"compiles: {session.stats.compile_counts()} "
-          f"(one of each for any k); block solves: {session.stats.block_solves}")
+          f"(one of each for any k); block solves: {session.stats.block_solves}"
+          + (f"; shard dispatches: {session.stats.shard_dispatches}"
+             if workers > 1 else ""))
     return 0 if block.result.all_converged else 1
 
 
@@ -192,6 +241,7 @@ def _cmd_table2(args) -> int:
     # cell-at-a-time regardless of --per-column, so derive the banner from
     # the path actually taken.
     batched = not args.per_column and args.backend != "reference"
+    workers = max(args.workers, 1)
     per_mesh = {}
     sessions = {}
     all_converged = True
@@ -200,7 +250,7 @@ def _cmd_table2(args) -> int:
             build_scenario("plate", nrows=a),
             plan=SolverPlan.table2(eps=args.eps, backend=args.backend),
         )
-        results = session.run_cyber_schedule(batched=batched)
+        results = session.run_cyber_schedule(batched=batched, workers=workers)
         all_converged &= all(r.converged for r in results)
         per_mesh[a] = results
         sessions[a] = session
@@ -210,6 +260,8 @@ def _cmd_table2(args) -> int:
         v = per_mesh[a][0].max_vector_length
         columns += [f"I(a={a})", f"T(v={v})"]
     mode = "one batched simulator pass" if batched else "per-column pass"
+    if batched and workers > 1:
+        mode = f"schedule cells sharded over {workers} worker processes"
     table = Table(
         "Table 2 — CYBER 203 iterations and simulated timings, "
         f"m-step SSOR PCG ({mode})",
@@ -228,9 +280,15 @@ def _cmd_table2(args) -> int:
         from repro.core.autotune import recommend_m
 
         width = max(args.rhs, 1)
+        if args.workload is not None:
+            from repro.pipeline import workload
+
+            width = workload(args.workload).width
+            print(f"workload {args.workload!r}: pricing --m auto at its "
+                  f"block width {width}")
         for a in meshes:
             session = sessions[a]
-            model = _fem_calibrated_model(session)
+            model = _calibrated_model(session, args.auto_model)
             rec = recommend_m(
                 session.interval, model, m_max=10, width=width, rel_tol=0.05
             )
@@ -241,8 +299,9 @@ def _cmd_table2(args) -> int:
             }
             best = effective_optimal_m(measured)
             print(
-                f"auto m (a={a}): model-recommended m = {rec.m} at RHS "
-                f"width {width} (measured table optimum m = {best})"
+                f"auto m (a={a}): {args.auto_model.upper()}-model-"
+                f"recommended m = {rec.m} at RHS width {width} "
+                f"(measured table optimum m = {best})"
             )
     return 0 if all_converged else 1
 
@@ -288,24 +347,31 @@ def _cmd_recommend(args) -> int:
     session = _build_session(args)
     interval = session.interval
     width = max(args.rhs, 1)
+    shards = max(args.workers, 1)
     model = PerformanceModel(
         a=1.0, b=args.b_over_a, b_marginal=args.b_marginal
     )
-    rec = recommend_m(interval, model, m_max=args.m_max, width=width)
+    rec = recommend_m(
+        interval, model, m_max=args.m_max, width=width, shards=shards
+    )
     title = (
         f"Model-predicted cost (A = 1, B/A = {args.b_over_a}) on the "
         f"{args.scenario} scenario (rows = {args.rows})"
     )
     if width > 1:
         title += f", RHS block width {width}"
+    if shards > 1:
+        title += f", sharded over {shards} workers"
     table = Table(title, ["m", "κ bound", "(A·w+m·B_w)·√κ"])
     for m in sorted(rec.scores):
         table.add_row(m, rec.kappas[m], rec.scores[m])
     table.add_note(f"recommended m = {rec.m}")
     if width > 1 and model.amortizes:
         table.add_note(
-            f"effective per-RHS B/A at width {width}: "
-            f"{model.b_over_a_at(width):.3f} (width 1: {model.b_over_a:.3f})"
+            f"effective per-RHS B/A at width {width}"
+            + (f" over {shards} shards" if shards > 1 else "")
+            + f": {model.b_over_a_at(width, shards):.3f} "
+            f"(width 1: {model.b_over_a:.3f})"
         )
     print(table.render())
     return 0
@@ -324,6 +390,24 @@ def _cmd_scenarios(args) -> int:
         table.add_row(spec.name, defaults or "—", spec.description)
     table.add_note("build with build_scenario(name, **overrides) or "
                    "`repro solve --scenario <name>`")
+    print(table.render())
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from repro.analysis import Table
+    from repro.pipeline import available_workloads
+
+    table = Table(
+        "Registered workloads (repro.pipeline.problems)",
+        ["name", "scenario", "k", "cases"],
+    )
+    for spec in available_workloads():
+        table.add_row(
+            spec.name, spec.scenario, spec.width, ", ".join(spec.case_labels)
+        )
+    table.add_note("solve a family with `repro solve --workload <name>` "
+                   "(add --workers W to shard the block across processes)")
     print(table.render())
     return 0
 
@@ -361,6 +445,30 @@ def main(argv: list[str] | None = None) -> int:
             "--rhs", type=int, default=1,
             help="simultaneous right-hand sides: the block-PCG width K "
             "(batched (n, K) lockstep; also the width --m auto tunes for)",
+        )
+
+    def add_workers_arg(p, what):
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help=f"worker processes to shard {what} across "
+            "(repro.parallel; 1 = serial, results bitwise identical)",
+        )
+
+    def add_workload_arg(p):
+        from repro.pipeline import available_workloads
+
+        p.add_argument(
+            "--workload", choices=[w.name for w in available_workloads()],
+            default=None,
+            help="registered multi-load case family; its width becomes "
+            "the block-RHS width K (overrides --rhs)",
+        )
+
+    def add_auto_model_arg(p):
+        p.add_argument(
+            "--auto-model", choices=["fem", "cyber"], default="fem",
+            help="machine whose timing model calibrates the --m auto "
+            "recommendation (FEM processor array or CYBER vector pipeline)",
         )
 
     def add_plate_args(p, with_m=True, with_scenario=False, auto_m=False):
@@ -411,12 +519,18 @@ def main(argv: list[str] | None = None) -> int:
         "calibrated width-aware (4.2) model) next to the measured optimum",
     )
     add_rhs_arg(p_table2)
+    add_workers_arg(p_table2, "the schedule's cells")
+    add_workload_arg(p_table2)
+    add_auto_model_arg(p_table2)
     add_backend_arg(p_table2)
 
     sub.add_parser("table3", help="Finite Element Machine table")
     p_solve = sub.add_parser("solve", help="one m-step SSOR PCG solve")
     add_plate_args(p_solve, with_scenario=True, auto_m=True)
     add_rhs_arg(p_solve)
+    add_workers_arg(p_solve, "the RHS block's column groups")
+    add_workload_arg(p_solve)
+    add_auto_model_arg(p_solve)
     add_backend_arg(p_solve)
     p_cyber = sub.add_parser("cyber", help="one simulated CYBER 203 solve")
     add_plate_args(p_cyber)
@@ -434,7 +548,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_rec.add_argument("--m-max", type=int, default=10)
     add_rhs_arg(p_rec)
+    add_workers_arg(p_rec, "the priced block (shard-aware step cost)")
     sub.add_parser("scenarios", help="list the ProblemSpec registry")
+    sub.add_parser("workloads", help="list the WorkloadSpec registry")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -446,6 +562,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig1": _cmd_fig1,
         "recommend": _cmd_recommend,
         "scenarios": _cmd_scenarios,
+        "workloads": _cmd_workloads,
     }
     if not hasattr(args, "parametrized"):
         args.parametrized = False
@@ -453,6 +570,12 @@ def main(argv: list[str] | None = None) -> int:
         args.scenario = "plate"
     if not hasattr(args, "rhs"):
         args.rhs = 1
+    if not hasattr(args, "workers"):
+        args.workers = 1
+    if not hasattr(args, "workload"):
+        args.workload = None
+    if not hasattr(args, "auto_model"):
+        args.auto_model = "fem"
     return handlers[args.command](args)
 
 

@@ -78,6 +78,7 @@ def predicted_cost_curve(
     parametrized: bool = True,
     criterion: str = "least_squares",
     width: int = 1,
+    shards: int = 1,
 ) -> tuple[dict[int, float], dict[int, float]]:
     """``m → (A·w + m·step_cost(w))·√κ̂_m`` and ``m → κ̂_m`` for m = 1…m_max.
 
@@ -87,9 +88,14 @@ def predicted_cost_curve(
     (``width = 1`` is exactly the paper's (4.1)); on an amortizing model
     the preconditioner's share of each iteration shrinks as the block
     widens, flattening the curve's left edge and pushing the minimizer up.
+    ``shards`` prices the block sharded over that many parallel workers
+    (:func:`repro.parallel.sharded_block_pcg`): wall-clock follows the
+    widest shard, so heavy sharding walks the curve back toward the
+    paper's width-1 shape.
     """
     require(m_max >= 1, "m_max must be at least 1")
     require(width >= 1, "width must be at least 1")
+    require(shards >= 1, "shards must be at least 1")
     scores: dict[int, float] = {}
     kappas: dict[int, float] = {}
     for m in range(1, m_max + 1):
@@ -97,7 +103,9 @@ def predicted_cost_curve(
         report = fit_report(coeffs, interval)
         kappa = report.condition_bound
         kappas[m] = kappa
-        scores[m] = model.predicted_time(m, float(np.sqrt(kappa)), width=width)
+        scores[m] = model.predicted_time(
+            m, float(np.sqrt(kappa)), width=width, shards=shards
+        )
     return scores, kappas
 
 
@@ -109,6 +117,7 @@ def recommend_m(
     criterion: str = "least_squares",
     kappa_k: float | None = None,
     width: int = 1,
+    shards: int = 1,
     rel_tol: float = 0.0,
 ) -> MRecommendation:
     """The m minimizing the predicted cost curve.
@@ -132,16 +141,18 @@ def recommend_m(
     with the block width actually planned
     (:attr:`~repro.pipeline.SolverPlan.block_rhs`) and the recommendation
     accounts for the amortized per-step cost — the ``--m auto --rhs K``
-    path of the CLI.
+    path of the CLI.  ``shards`` additionally prices the block's sharded
+    execution across that many worker processes (``--workers W``).
     """
     scores, kappas = predicted_cost_curve(
-        interval, model, m_max, parametrized, criterion, width=width
+        interval, model, m_max, parametrized, criterion, width=width,
+        shards=shards,
     )
     if kappa_k is not None:
         require(kappa_k >= 1.0, "κ(K) must be at least 1")
         kappas[0] = float(kappa_k)
         scores[0] = model.predicted_time(
-            0, float(np.sqrt(kappa_k)), width=width
+            0, float(np.sqrt(kappa_k)), width=width, shards=shards
         )
     if rel_tol > 0:
         best = effective_optimal_m(scores, rel_tol=rel_tol)

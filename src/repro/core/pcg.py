@@ -398,9 +398,20 @@ def block_pcg(
     F = np.asarray(F, dtype=float)
     require(F.ndim == 2, "block_pcg needs an (n, k) right-hand-side block")
     n, ncols = F.shape
-    require(ncols >= 1, "the block needs at least one column")
     require(k.shape == (n, n), "operator/right-hand-side shape mismatch")
     rule = stopping or DeltaInfNorm(eps=eps)
+    if ncols == 0:
+        # An empty block is a legal no-op (the sharded path meets it when a
+        # workload degenerates): zero columns solved, nothing touched.
+        return BlockPCGResult(
+            u=np.zeros((n, 0)),
+            iterations=np.zeros(0, dtype=int),
+            converged=np.zeros(0, dtype=bool),
+            delta_histories=[],
+            residual_histories=[],
+            counters=[],
+            stop_rule=rule.describe(),
+        )
     m = preconditioner if preconditioner is not None else IdentityPreconditioner()
     maxiter = maxiter if maxiter is not None else 5 * n + 100
 

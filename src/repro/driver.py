@@ -112,22 +112,25 @@ def build_mstep_applicator(
     coefficients: np.ndarray,
     applicator: str = "sweep",
     backend: str | None = None,
+    omega: float = 1.0,
 ):
     """The m-step SSOR realization shared by the driver and the machines.
 
     ``"sweep"`` is the Conrad–Wallach merged multicolor sweep of
-    Algorithm 2 (:class:`MStepSSOR`); ``"splitting"`` routes through
-    :class:`MStepPreconditioner` over the SSOR splitting, whose triangular
-    solves dispatch on the kernel ``backend`` (``"vectorized"`` cached
-    color-block sweeps or the ``"reference"`` row-sequential pin).  All
-    paths apply the same operator to ≤1e−12.
+    Algorithm 2 (:class:`MStepSSOR`, the paper's ω = 1 formulation);
+    ``"splitting"`` routes through :class:`MStepPreconditioner` over the
+    ω-parametrized SSOR splitting, whose triangular solves dispatch on
+    the kernel ``backend`` (``"vectorized"`` cached color-block sweeps or
+    the ``"reference"`` row-sequential pin).  At ω = 1 all paths apply
+    the same operator to ≤1e−12.
     """
     require(applicator in ("sweep", "splitting"),
             "applicator must be 'sweep' or 'splitting'")
     if applicator == "sweep":
         return MStepSSOR(blocked, coefficients)
     return MStepPreconditioner(
-        SSORSplitting(blocked.permuted, backend=backend), coefficients
+        SSORSplitting(blocked.permuted, omega=omega, backend=backend),
+        coefficients,
     )
 
 

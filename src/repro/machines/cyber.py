@@ -442,6 +442,57 @@ class CyberMachine:
         self._charge_precondition(vm, m, width=width)
         return self._sweep_kernel().apply(coefficients, masked).copy()
 
+    # ----------------------------------------------------------- cost model
+    def iteration_costs(self) -> tuple[float, float]:
+        """(A, B) of the performance model (4.1) on the CYBER clock.
+
+        The vector-machine analogue of
+        :meth:`~repro.machines.fem_machine.FiniteElementMachine.iteration_costs`:
+        ``A`` is the charged cost of one steady-state outer CG iteration
+        (the matvec-by-diagonals stream, two partial-sum inner products,
+        the ``‖Δu‖∞`` reduction, four full-length vector updates and the
+        two scalar-unit results), exactly the per-iteration charge stream
+        of :meth:`solve`; ``B`` is the marginal cost of one further
+        preconditioner step, the per-``m`` slope of Algorithm 2's charge
+        stream.  Both are structural constants of the layout — unlike the
+        FEM counterpart there is no ``m`` parameter, since neither
+        quantity depends on it.  Feeds
+        :meth:`repro.analysis.models.PerformanceModel.from_cyber_machine`
+        — the CYBER-calibrated ``--m auto`` path.
+        """
+        vm = VectorMachine(self.timing)
+        self._charge_matvec(vm)
+        t_matvec = vm.elapsed_seconds
+        t = self.timing
+        n = self.n_padded
+        a = (
+            t_matvec
+            + 2 * t.dot_time(n)  # (p, Kp) and (r̃, r)
+            + t.dot_time(n)  # ‖Δu‖∞ via the abs/max hardware
+            + 4 * t.vector_op_time(n)  # scale, add, two axpys
+            + 2 * t.scalar_op_time()  # α, β
+        )
+        b = self.preconditioner_block_seconds(
+            2, 1
+        ) - self.preconditioner_block_seconds(1, 1)
+        return a, b
+
+    def preconditioner_block_seconds(self, m: int, width: int = 1) -> float:
+        """Charged seconds of one batched m-step application on ``(n, width)``.
+
+        The CYBER analogue of the Finite Element Machine's block cost:
+        every color-block operation streams the whole ``(n, width)`` block
+        through the pipe for a single startup
+        (:meth:`~repro.machines.timing.VectorTimingModel.block_op_time`),
+        so the per-right-hand-side cost falls as the block widens — the
+        amortization the width-aware (4.2) autotuner prices.
+        """
+        require(m >= 1, "m must be at least 1")
+        require(width >= 1, "width must be at least 1")
+        vm = VectorMachine(self.timing)
+        self._charge_precondition(vm, m, width=width)
+        return vm.elapsed_seconds
+
     # ------------------------------------------------------------------ solve
     def solve(
         self,

@@ -1,0 +1,73 @@
+"""Worker-process management for the sharded execution layer.
+
+One process pool per worker count, created lazily and kept alive for the
+lifetime of the interpreter: the expensive part of real parallelism is not
+``fork``/``spawn`` itself but re-paying it (and the workers' compiled-state
+caches — see :mod:`repro.parallel.shards`) on every call.  ``workers <= 1``
+never touches ``multiprocessing`` at all: tasks run inline in the calling
+process, so the degenerate configuration is exactly the serial code path
+and is safe on any platform (and under any test harness).
+
+The functions dispatched here must be module-level (picklable by
+reference); their arguments are the picklable spec dataclasses of
+:mod:`repro.parallel.shards` and :mod:`repro.parallel.schedule`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.util import require
+
+__all__ = ["available_workers", "effective_workers", "run_tasks", "shutdown_pools"]
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def available_workers() -> int:
+    """Usable local cores (the executor never refuses a larger request —
+    oversubscription is legal, merely pointless)."""
+    return os.cpu_count() or 1
+
+
+def effective_workers(workers: int, n_tasks: int) -> int:
+    """Workers actually worth starting: never more than there are tasks."""
+    require(workers >= 1, "workers must be at least 1")
+    return max(1, min(int(workers), int(n_tasks)))
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def run_tasks(fn, specs, workers: int) -> list:
+    """``[fn(spec) for spec in specs]``, fanned across worker processes.
+
+    Results come back in task order.  ``workers <= 1`` (after clamping to
+    the task count) executes inline — no processes, no pickling — which is
+    what makes ``W = 1`` sharding bitwise-trivially identical to the
+    serial path.  A worker that raises re-raises here, in the parent.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    workers = effective_workers(workers, len(specs))
+    if workers == 1:
+        return [fn(spec) for spec in specs]
+    return list(_pool(workers).map(fn, specs))
+
+
+def shutdown_pools() -> None:
+    """Tear down every live pool (tests; also registered at exit)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)

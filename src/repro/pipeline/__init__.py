@@ -15,11 +15,16 @@
 from repro.pipeline.plan import SolverPlan, cell_label
 from repro.pipeline.problems import (
     ProblemSpec,
+    WorkloadSpec,
     available_scenarios,
+    available_workloads,
     build_scenario,
+    build_workload,
     register_scenario,
+    register_workload,
     scenario,
     synthetic_load_block,
+    workload,
 )
 from repro.pipeline.session import BlockMStepSolve, SessionStats, SolverSession
 
@@ -27,11 +32,16 @@ __all__ = [
     "SolverPlan",
     "cell_label",
     "ProblemSpec",
+    "WorkloadSpec",
     "available_scenarios",
+    "available_workloads",
     "build_scenario",
+    "build_workload",
     "register_scenario",
+    "register_workload",
     "scenario",
     "synthetic_load_block",
+    "workload",
     "BlockMStepSolve",
     "SessionStats",
     "SolverSession",

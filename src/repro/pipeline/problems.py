@@ -26,10 +26,24 @@ The stock registry spans the paper's workloads and beyond:
 All builders return objects satisfying the problem protocol
 (``k``, ``f``, ``group_of_unknown``, ``group_labels``) that the multicolor
 machinery and :class:`~repro.pipeline.SolverSession` consume.
+
+**Workloads.**  A scenario names a *structure*; a :class:`WorkloadSpec`
+names the *loads* applied to it — a first-class registry of multi-load
+cases (pressure sweeps, shear, thermal gradients, point-load families)
+whose columns compile straight to an ``(n, k)`` right-hand-side block and
+whose width becomes :attr:`~repro.pipeline.SolverPlan.block_rhs` via
+:meth:`WorkloadSpec.solver_plan`.  The block-PCG and sharded-execution
+paths (``repro solve --workload NAME --workers W``) consume these.
+
+Both spec types pickle by *recipe*: ``__getstate__`` drops the builder
+callable when the spec is registered and ``__setstate__`` rebinds it from
+the registry by name — which is what lets worker processes receive specs
+(and scenario problems) without ever pickling lambdas or closures.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -52,6 +66,11 @@ __all__ = [
     "build_scenario",
     "available_scenarios",
     "synthetic_load_block",
+    "WorkloadSpec",
+    "register_workload",
+    "workload",
+    "build_workload",
+    "available_workloads",
 ]
 
 
@@ -95,6 +114,36 @@ class ProblemSpec:
     def build(self, **overrides):
         params = {**self.defaults, **overrides}
         return self.builder(**params)
+
+    # Specs pickle by recipe: a registered spec ships its *name* and is
+    # rebound to the registry's builder on load, so worker processes can
+    # receive specs whose builders are lambdas or closures.
+    def __getstate__(self) -> dict:
+        registered = _REGISTRY.get(self.name)
+        state = {
+            "name": self.name,
+            "description": self.description,
+            "defaults": self.defaults,
+            "size_param": self.size_param,
+            "builder": None if (
+                registered is not None and registered.builder is self.builder
+            ) else self.builder,
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        builder = state.pop("builder")
+        if builder is None:
+            registered = _REGISTRY.get(state["name"])
+            if registered is None:
+                raise pickle.UnpicklingError(
+                    f"scenario {state['name']!r} is not registered in this "
+                    "process; register it before unpickling its spec"
+                )
+            builder = registered.builder
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "builder", builder)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProblemSpec({self.name!r}: {self.description})"
@@ -151,11 +200,15 @@ register_scenario(
     nrows=20,
 )
 
+def _stretched_plate_problem(nrows=20, ncols=None, aspect=4.0, **kw):
+    """The plate on an ``aspect:1`` stretched domain (module-level — not a
+    lambda — so the spec's recipe-based pickling can fall back to it)."""
+    return plate_problem(nrows, ncols=ncols, width=aspect, **kw)
+
+
 register_scenario(
     "stretched-plate",
-    lambda nrows=20, ncols=None, aspect=4.0, **kw: plate_problem(
-        nrows, ncols=ncols, width=aspect, **kw
-    ),
+    _stretched_plate_problem,
     "the plate on a stretched (4:1 by default) domain — skewed elements, "
     "a harder spectrum, identical R/B/G coloring",
     size_param="nrows",
@@ -203,4 +256,238 @@ register_scenario(
     "stiff spectrum as ε → 0",
     size_param="n_grid",
     n_grid=16,
+)
+
+
+# ============================================================= workloads
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named multi-load case family for one scenario.
+
+    ``builder(problem)`` returns the ``(n, width)`` right-hand-side block,
+    one column per case in :attr:`case_labels`.  Workloads are the
+    scenario registry's answer for *loads* what :class:`ProblemSpec` is
+    for *structures*: entry points ask for ``build_workload("plate-service",
+    problem)`` and a new load family becomes one :func:`register_workload`
+    call.  The width compiles straight into a plan via
+    :meth:`solver_plan` (``block_rhs = width``), so the multi-RHS and
+    sharded execution paths are sized from the workload, not by hand.
+    """
+
+    name: str
+    scenario: str
+    description: str
+    case_labels: tuple[str, ...]
+    builder: Callable  # (problem) -> (n, width) ndarray
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "workload name must be non-empty")
+        require(len(self.case_labels) >= 1, "a workload needs at least one case")
+
+    @property
+    def width(self) -> int:
+        """Number of load cases — the block width this workload compiles to."""
+        return len(self.case_labels)
+
+    def build_block(self, problem) -> np.ndarray:
+        """The ``(n, width)`` load block for a built scenario problem."""
+        F = np.asarray(self.builder(problem), dtype=float)
+        require(
+            F.ndim == 2 and F.shape == (problem.f.shape[0], self.width),
+            f"workload {self.name!r} must build an (n, {self.width}) block",
+        )
+        return F
+
+    def solver_plan(self, base=None, **overrides):
+        """A :class:`~repro.pipeline.SolverPlan` sized for this workload.
+
+        ``base`` (default a one-cell ``m = 3`` parametrized plan) is
+        copied with ``block_rhs`` set to the workload width plus any
+        ``overrides`` — the "compile straight to ``SolverPlan.block_rhs``"
+        hook the CLI's ``--workload`` path uses.
+        """
+        from repro.pipeline.plan import SolverPlan
+
+        plan = base if base is not None else SolverPlan.single(3, True)
+        return plan.with_(block_rhs=self.width, **overrides)
+
+    # Recipe-based pickling, exactly as ProblemSpec does it.
+    def __getstate__(self) -> dict:
+        registered = _WORKLOADS.get(self.name)
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "description": self.description,
+            "case_labels": self.case_labels,
+            "builder": None if (
+                registered is not None and registered.builder is self.builder
+            ) else self.builder,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        builder = state.pop("builder")
+        if builder is None:
+            registered = _WORKLOADS.get(state["name"])
+            if registered is None:
+                raise pickle.UnpicklingError(
+                    f"workload {state['name']!r} is not registered in this "
+                    "process; register it before unpickling its spec"
+                )
+            builder = registered.builder
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "builder", builder)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkloadSpec({self.name!r} on {self.scenario!r}: "
+            f"{self.width} cases)"
+        )
+
+
+_WORKLOADS: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(
+    name: str,
+    scenario: str,
+    builder: Callable,
+    description: str,
+    case_labels,
+) -> WorkloadSpec:
+    """Register (or replace) a named workload and return its spec."""
+    spec = WorkloadSpec(
+        name=name,
+        scenario=scenario,
+        description=description,
+        case_labels=tuple(case_labels),
+        builder=builder,
+    )
+    _WORKLOADS[name] = spec
+    return spec
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a registered workload by name."""
+    if name not in _WORKLOADS:
+        known = ", ".join(sorted(_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; registered: {known}")
+    return _WORKLOADS[name]
+
+
+def build_workload(name: str, problem) -> np.ndarray:
+    """Build a registered workload's ``(n, width)`` load block."""
+    return workload(name).build_block(problem)
+
+
+def available_workloads() -> tuple[WorkloadSpec, ...]:
+    """All registered workload specs, sorted by name."""
+    return tuple(_WORKLOADS[name] for name in sorted(_WORKLOADS))
+
+
+# ------------------------------------------------------- stock load families
+PRESSURE_FACTORS = (0.25, 0.5, 1.0, 2.0)
+THERMAL_MODES = (1, 2, 3)
+POINT_FRACTIONS = (0.2, 0.4, 0.6, 0.8)
+
+
+def _pressure_family_block(problem) -> np.ndarray:
+    """The scenario's own assembled load at several service magnitudes."""
+    f = np.asarray(problem.f, dtype=float)
+    return np.stack([factor * f for factor in PRESSURE_FACTORS], axis=1)
+
+
+def _point_family_block(problem) -> np.ndarray:
+    """Concentrated unit loads at spread free positions (any scenario)."""
+    f = np.asarray(problem.f, dtype=float)
+    n = f.shape[0]
+    magnitude = float(np.max(np.abs(f))) or 1.0
+    cols = []
+    for fraction in POINT_FRACTIONS:
+        case = np.zeros(n)
+        case[int(fraction * (n - 1))] = magnitude
+        cols.append(case)
+    return np.stack(cols, axis=1)
+
+
+def _thermal_family_block(problem) -> np.ndarray:
+    """Smooth thermal-gradient proxy loads: low sinusoidal dof modes.
+
+    A uniform temperature change loads a constrained structure through a
+    smooth, domain-filling force field; mode ``j`` here is
+    ``sin(j·π·x)`` over the dof index — deterministic, scenario-agnostic,
+    and spectrally at the opposite end from the point-load family.
+    """
+    f = np.asarray(problem.f, dtype=float)
+    n = f.shape[0]
+    magnitude = float(np.max(np.abs(f))) or 1.0
+    x = np.linspace(0.0, 1.0, n)
+    return np.stack(
+        [magnitude * np.sin(j * np.pi * x) for j in THERMAL_MODES], axis=1
+    )
+
+
+def _plate_service_block(problem) -> np.ndarray:
+    """The plate's service envelope: pressure, shear, and two point loads.
+
+    The shear column is properly *assembled* — the same edge traction
+    machinery as the scenario's own load, turned 90° — so this family
+    exercises genuinely distinct physics, not rescalings.
+    """
+    from repro.fem.plane_stress import assemble_plate
+
+    require(
+        getattr(problem, "mesh", None) is not None
+        and getattr(problem, "material", None) is not None,
+        "the plate-service workload needs a plate scenario (mesh + material)",
+    )
+    f_pressure = np.asarray(problem.f, dtype=float)
+    _, f_shear = assemble_plate(
+        problem.mesh, problem.material, traction_x=0.0, traction_y=1.0,
+        element_scale=problem.element_scale,
+    )
+    n = f_pressure.shape[0]
+    magnitude = float(np.max(np.abs(f_pressure))) or 1.0
+    points = []
+    for fraction in (0.35, 0.7):
+        case = np.zeros(n)
+        case[int(fraction * (n - 1))] = magnitude
+        points.append(case)
+    return np.stack([f_pressure, f_shear, *points], axis=1)
+
+
+register_workload(
+    "plate-service",
+    "plate",
+    _plate_service_block,
+    "the plate's service envelope: edge pressure, assembled edge shear, "
+    "and two concentrated point loads",
+    ("edge pressure", "edge shear", "point @ 0.35n", "point @ 0.7n"),
+)
+
+register_workload(
+    "pressure-family",
+    "plate",
+    _pressure_family_block,
+    "the scenario's own load at service magnitudes "
+    f"{PRESSURE_FACTORS} (linear sweep of one pressure case)",
+    tuple(f"pressure ×{factor:g}" for factor in PRESSURE_FACTORS),
+)
+
+register_workload(
+    "thermal-family",
+    "plate",
+    _thermal_family_block,
+    "smooth thermal-gradient proxy loads (low sinusoidal modes over the "
+    "dof field)",
+    tuple(f"thermal mode {j}" for j in THERMAL_MODES),
+)
+
+register_workload(
+    "point-family",
+    "plate",
+    _point_family_block,
+    "concentrated unit loads swept across the structure "
+    f"(fractions {POINT_FRACTIONS})",
+    tuple(f"point @ {fraction:g}n" for fraction in POINT_FRACTIONS),
 )

@@ -50,11 +50,32 @@ from repro.driver import (
 )
 from repro.machines import CYBER_203, CyberMachine, FiniteElementMachine
 from repro.multicolor.blocked import BlockedMatrix
+from repro.parallel import (
+    ApplicatorRecipe,
+    column_groups,
+    sharded_block_pcg,
+    sharded_schedule,
+)
 from repro.pipeline.plan import SolverPlan
 from repro.pipeline.problems import build_scenario
 from repro.util import require
 
 __all__ = ["BlockMStepSolve", "SessionStats", "SolverSession"]
+
+
+def _normalize_sharding(sharding) -> tuple[int, int | None]:
+    """``sharding`` → ``(workers, group)``.
+
+    Accepts ``None`` (serial), an int worker count, or a ``(workers,
+    group)`` pair — ``group`` being the columns-per-shard override of
+    :func:`repro.parallel.column_groups`.
+    """
+    if sharding is None:
+        return 1, None
+    if isinstance(sharding, int):
+        return max(sharding, 1), None
+    workers, group = sharding
+    return max(int(workers), 1), (None if group is None else int(group))
 
 
 @dataclass
@@ -77,6 +98,9 @@ class SessionStats:
     machine_builds: int = 0
     solves: int = 0
     block_solves: int = 0
+    #: Column-group shards dispatched to the repro.parallel executor (a
+    #: sharded block solve adds one per group; serial solves add none).
+    shard_dispatches: int = 0
 
     def compile_counts(self) -> dict[str, int]:
         return {
@@ -215,9 +239,44 @@ class SolverSession:
                 self.coefficients(m, parametrized),
                 applicator=applicator,
                 backend=backend,
+                omega=self.plan.omega,
             )
             self.stats.applicator_builds += 1
         return self._applicators[key]
+
+    def _shard_recipe(
+        self,
+        m: int,
+        parametrized: bool,
+        applicator: str | None = None,
+        backend: str | None = None,
+    ) -> ApplicatorRecipe:
+        """The cell's applicator as a picklable rebuild recipe.
+
+        Worker processes of the sharded block path reconstruct the exact
+        realization the plan names — the merged multicolor sweep or the
+        kernel-dispatched splitting — from this description plus the
+        shard's CSR payload, through the same constructors
+        :func:`repro.driver.build_mstep_applicator` uses.
+        """
+        if m == 0:
+            return ApplicatorRecipe(kind="none")
+        kind = applicator if applicator is not None else self.plan.applicator
+        coefficients = self.coefficients(m, parametrized)
+        if kind == "sweep":
+            ordering = self.blocked.ordering
+            return ApplicatorRecipe(
+                kind="sweep",
+                coefficients=coefficients,
+                groups=np.sort(ordering.groups),
+                labels=tuple(ordering.labels),
+            )
+        return ApplicatorRecipe(
+            kind="splitting",
+            coefficients=coefficients,
+            omega=self.plan.omega,
+            backend=backend if backend is not None else self.plan.backend,
+        )
 
     def compile(self) -> "SolverSession":
         """Force every plan artifact now (idempotent).
@@ -304,6 +363,7 @@ class SolverSession:
         track_residual: bool = False,
         applicator: str | None = None,
         backend: str | None = None,
+        sharding=None,
     ) -> BlockMStepSolve:
         """One cell against an ``(n, k)`` block of right-hand sides.
 
@@ -319,6 +379,15 @@ class SolverSession:
         ``F`` may be any memory order (Fortran-ordered or strided blocks
         are handled); ``None`` solves the problem's own load as a
         single-column block.
+
+        ``sharding`` — ``workers`` or ``(workers, group)`` — fans the
+        block's column groups across worker processes
+        (:func:`repro.parallel.sharded_block_pcg`).  Workers rebuild the
+        cell's applicator from a picklable recipe derived from the
+        compiled plan (never from a pickled live applicator), so every
+        column stays bitwise identical to the serial path for any
+        worker/group partition.  ``None`` (or 1 worker, or ``k ≤ 1``)
+        is exactly the serial lockstep.
         """
         require(m >= 0, "m must be non-negative")
         blocked = self.blocked
@@ -333,24 +402,53 @@ class SolverSession:
 
         interval = self._interval
         coefficients = None
-        preconditioner = None
         if m >= 1:
             if parametrized:
                 interval = self.interval
             coefficients = self.coefficients(m, parametrized)
-            preconditioner = self.applicator(
+
+        workers, group = _normalize_sharding(sharding)
+        groups = (
+            column_groups(f_mc.shape[1], workers, group) if workers > 1 else []
+        )
+        sharded = len(groups) > 1
+        eps_value = eps if eps is not None else self.plan.eps
+        maxiter_value = maxiter if maxiter is not None else self.plan.maxiter
+        if sharded:
+            # Workers rebuild the applicator from the recipe; the parent
+            # never factorizes (or pickles) a live one on this path.
+            recipe = self._shard_recipe(
                 m, parametrized, applicator=applicator, backend=backend
             )
-
-        result = block_pcg(
-            blocked.permuted,
-            f_mc,
-            preconditioner=preconditioner,
-            eps=eps if eps is not None else self.plan.eps,
-            stopping=stopping,
-            maxiter=maxiter if maxiter is not None else self.plan.maxiter,
-            track_residual=track_residual,
-        )
+            result = sharded_block_pcg(
+                blocked.permuted,
+                f_mc,
+                recipe=recipe,
+                workers=workers,
+                group=group,
+                eps=eps_value,
+                stopping=stopping,
+                maxiter=maxiter_value,
+                track_residual=track_residual,
+            )
+            self.stats.shard_dispatches += len(groups)
+        else:
+            preconditioner = (
+                self.applicator(
+                    m, parametrized, applicator=applicator, backend=backend
+                )
+                if m >= 1
+                else None
+            )
+            result = block_pcg(
+                blocked.permuted,
+                f_mc,
+                preconditioner=preconditioner,
+                eps=eps_value,
+                stopping=stopping,
+                maxiter=maxiter_value,
+                track_residual=track_residual,
+            )
         self.stats.solves += result.k
         self.stats.block_solves += 1
         return BlockMStepSolve(
@@ -371,17 +469,22 @@ class SolverSession:
             for m, parametrized in self.plan.schedule
         ]
 
-    def execute_block(self, F: np.ndarray | None = None) -> list[BlockMStepSolve]:
+    def execute_block(
+        self, F: np.ndarray | None = None, sharding=None
+    ) -> list[BlockMStepSolve]:
         """Every plan cell in order against an ``(n, k)`` block of RHS.
 
         One compile serves any ``k``: the session's coloring, interval,
         coefficients and factorized applicators are built exactly once
         regardless of the block width (``stats.compile_counts()`` is the
-        structural witness; the tests assert it).
+        structural witness; the tests assert it).  ``sharding`` —
+        ``workers`` or ``(workers, group)`` — fans every cell's column
+        groups across worker processes, bitwise identical to the serial
+        path (see :meth:`solve_cell_block`).
         """
         self.compile()
         return [
-            self.solve_cell_block(m, parametrized, F=F)
+            self.solve_cell_block(m, parametrized, F=F, sharding=sharding)
             for m, parametrized in self.plan.schedule
         ]
 
@@ -427,6 +530,7 @@ class SolverSession:
         eps: float | None = None,
         maxiter: int | None = None,
         timing=None,
+        workers: int = 1,
     ):
         """The plan's full schedule on the CYBER simulator.
 
@@ -437,12 +541,26 @@ class SolverSession:
         identical to the per-column path in iteration counts, clocks, op
         ledgers and iterates.  ``batched=False`` (or a ``"reference"``
         plan backend) keeps the cell-at-a-time pass for pinning.
+
+        ``workers > 1`` fans the schedule's cells across worker processes
+        (:func:`repro.parallel.sharded_schedule`): each worker lays out
+        its own machine from the pickled problem and runs its cell chunk
+        through ``solve_schedule``, whose partition-invariant per-cell
+        contract keeps every record bitwise identical to the
+        single-process pass.
         """
-        machine = self.cyber(timing)
         cells = self.schedule_cells()
         eps = eps if eps is not None else self.plan.eps
         if batched and self.plan.backend != "reference":
-            return machine.solve_schedule(cells, eps=eps, maxiter=maxiter)
+            if workers > 1:
+                return sharded_schedule(
+                    self.problem, cells, machine="cyber", workers=workers,
+                    eps=eps, maxiter=maxiter, timing=timing,
+                )
+            return self.cyber(timing).solve_schedule(
+                cells, eps=eps, maxiter=maxiter
+            )
+        machine = self.cyber(timing)
         return [
             machine.solve(
                 m, coeffs, eps=eps, maxiter=maxiter, backend=self.plan.backend
@@ -456,6 +574,7 @@ class SolverSession:
         batched: bool = True,
         eps: float | None = None,
         maxiter: int | None = None,
+        workers: int = 1,
         **kwargs,
     ):
         """The plan's full schedule on the Finite Element Machine.
@@ -476,10 +595,28 @@ class SolverSession:
         all realizations apply the same operator); the batched pass's
         factorized splitting is cached on the machine, which the session
         itself caches, so repeated schedule runs rebuild nothing.
+
+        ``workers > 1`` fans the cells across worker processes — the FEM
+        analogue of :meth:`run_cyber_schedule`'s sharded pass, every
+        per-cell record (iterations, charged clocks, communication
+        ledgers, iterates) bitwise identical to the single-process
+        schedule by the partition-invariance of ``solve_schedule``.
         """
-        machine = self.fem(n_procs, **kwargs)
         cells = self.schedule_cells()
         eps = eps if eps is not None else self.plan.eps
+        if (
+            workers > 1
+            and batched
+            and self.plan.backend != "reference"
+        ):
+            return sharded_schedule(
+                self.problem, cells, machine="fem", workers=workers,
+                eps=eps, maxiter=maxiter, n_procs=n_procs,
+                backend=self.plan.backend,
+                timing=kwargs.get("timing"),
+                reduction=kwargs.get("reduction", "software"),
+            )
+        machine = self.fem(n_procs, **kwargs)
         if batched and self.plan.backend != "reference":
             return machine.solve_schedule(
                 cells, eps=eps, maxiter=maxiter, backend=self.plan.backend

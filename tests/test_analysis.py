@@ -264,3 +264,91 @@ class TestReporting:
     def test_bool_rendering(self):
         out = format_table("t", ["ok"], [[True], [False]])
         assert "yes" in out and "no" in out
+
+
+class TestCyberCalibratedModel:
+    """The CYBER-timing-model calibration (ISSUE 5 satellite):
+    ``PerformanceModel.from_cyber_machine`` mirrors the FEM path."""
+
+    @pytest.fixture(scope="class")
+    def machine(self):
+        from repro.machines import CyberMachine
+
+        return CyberMachine(plate_problem(8))
+
+    def test_iteration_costs_are_positive_and_step_scaled(self, machine):
+        a, b = machine.iteration_costs()
+        assert a > 0 and b > 0
+        # m preconditioner steps charge m times the marginal step plus the
+        # one-off final color solve.
+        five = machine.preconditioner_block_seconds(5, 1)
+        one = machine.preconditioner_block_seconds(1, 1)
+        assert five == pytest.approx(one + 4 * b, rel=1e-12)
+
+    def test_block_application_amortizes_pipe_startups(self, machine):
+        one = machine.preconditioner_block_seconds(1, 1)
+        eight = machine.preconditioner_block_seconds(1, 8)
+        assert one < eight < 8 * one
+
+    def test_from_cyber_machine_fields(self, machine):
+        model = PerformanceModel.from_cyber_machine(machine)
+        a, b = machine.iteration_costs()
+        assert model.a == a and model.b == b
+        assert model.amortizes
+        assert 0 < model.b_marginal < model.b
+
+    def test_recommendation_runs_off_the_cyber_model(self, machine):
+        from repro.core.autotune import recommend_m
+        from repro.core.spectral import spectrum_interval
+        from repro.core.splittings import SSORSplitting
+        from repro.driver import build_blocked_system
+
+        blocked = build_blocked_system(machine.problem)
+        interval = spectrum_interval(SSORSplitting(blocked.permuted))
+        model = PerformanceModel.from_cyber_machine(machine)
+        rec = recommend_m(interval, model, m_max=10, rel_tol=0.05)
+        assert 1 <= rec.m <= 10
+        wide = recommend_m(interval, model, m_max=10, width=13, rel_tol=0.05)
+        assert wide.m >= rec.m  # batching amortizes steps → m never shrinks
+
+
+class TestShardAwareStepCost:
+    """Shard-aware (4.1) pricing: wall-clock follows the widest shard."""
+
+    def test_shard_width(self):
+        assert PerformanceModel.shard_width(8, 1) == 8
+        assert PerformanceModel.shard_width(8, 4) == 2
+        assert PerformanceModel.shard_width(7, 4) == 2
+        assert PerformanceModel.shard_width(3, 8) == 1  # W > k clamps
+
+    def test_sharded_step_cost_equals_narrow_block(self):
+        model = PerformanceModel(a=1.0, b=0.7, b_marginal=0.2)
+        assert model.step_cost(8, shards=4) == model.step_cost(2)
+        assert model.step_cost(8, shards=8) == model.b
+        assert model.step_cost(8, shards=1) == model.step_cost(8)
+
+    def test_sharded_predicted_time_drops_with_workers(self):
+        model = PerformanceModel(a=1.0, b=0.7, b_marginal=0.2)
+        serial = model.predicted_time(3, 20, width=8)
+        sharded = model.predicted_time(3, 20, width=8, shards=4)
+        assert sharded < serial
+        # Fully sharded = width-1 wall-clock per column.
+        assert model.predicted_time(3, 20, width=8, shards=8) == (
+            model.predicted_time(3, 20)
+        )
+
+    def test_sharding_walks_the_recommendation_back(self):
+        from repro.core.autotune import recommend_m
+
+        interval = (0.05, 1.0)
+        model = PerformanceModel(a=1.0, b=0.7, b_marginal=0.05)
+        wide = recommend_m(interval, model, m_max=10, width=16)
+        sharded = recommend_m(interval, model, m_max=10, width=16, shards=16)
+        narrow = recommend_m(interval, model, m_max=10)
+        assert sharded.m == narrow.m  # per-worker width 1 = paper pricing
+        assert wide.m >= sharded.m
+
+    def test_b_over_a_at_shards(self):
+        model = PerformanceModel(a=1.0, b=0.7, b_marginal=0.2)
+        assert model.b_over_a_at(8, shards=8) == model.b_over_a
+        assert model.b_over_a_at(8) < model.b_over_a_at(8, shards=4)

@@ -122,7 +122,7 @@ class TestBlockRHSAndAutoM:
                      "--m", "auto"])
         out = capsys.readouterr().out
         assert code == 0
-        assert "no FEM machine layout" in out
+        assert "no machine layout" in out
 
     def test_solve_rejects_bad_m(self):
         with pytest.raises(SystemExit):
@@ -136,7 +136,7 @@ class TestBlockRHSAndAutoM:
         out = capsys.readouterr().out
         assert code == 0
         assert (
-            "auto m (a=20): model-recommended m = 4 at RHS width 1 "
+            "auto m (a=20): FEM-model-recommended m = 4 at RHS width 1 "
             "(measured table optimum m = 4)"
         ) in out
 
@@ -147,3 +147,107 @@ class TestBlockRHSAndAutoM:
         assert code == 0
         assert "RHS block width 8" in out
         assert "effective per-RHS B/A at width 8" in out
+
+
+class TestParallelAndWorkloads:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("plate-service", "pressure-family", "thermal-family",
+                     "point-family"):
+            assert name in out
+
+    def test_solve_workload_sets_block_width(self, capsys):
+        code = main(["solve", "--rows", "8", "--m", "2", "-P",
+                     "--workload", "plate-service"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload: plate-service" in out
+        assert "block of 4 right-hand sides" in out
+        assert "all converged: True" in out
+
+    def test_solve_workload_sharded_over_workers(self, capsys):
+        code = main(["solve", "--rows", "8", "--m", "2", "-P",
+                     "--workload", "point-family", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded over 2 worker processes" in out
+        assert "shard dispatches: 2" in out
+        assert "all converged: True" in out
+
+    def test_single_case_workload_solves_its_own_load(self, capsys):
+        # Regression: a width-1 workload must go through the block path
+        # with the workload's column, not fall back to the scenario's f.
+        from repro.pipeline import problems, register_workload
+
+        def shear_only(problem):
+            from repro.fem.plane_stress import assemble_plate
+
+            _, f_shear = assemble_plate(
+                problem.mesh, problem.material, traction_x=0.0,
+                traction_y=1.0,
+            )
+            return f_shear[:, None].astype(float)
+
+        register_workload(
+            "test-shear-only", "plate", shear_only, "test-only entry",
+            ("edge shear",),
+        )
+        try:
+            code = main(["solve", "--rows", "8", "--m", "2", "-P",
+                         "--workload", "test-shear-only"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "block of 1 right-hand sides" in out
+            assert "workload: test-shear-only" in out
+        finally:
+            del problems._WORKLOADS["test-shear-only"]
+
+    def test_solve_workload_scenario_mismatch_rejected(self, capsys):
+        code = main(["solve", "--scenario", "poisson", "--rows", "8",
+                     "--m", "2", "--workload", "plate-service"])
+        assert code == 2
+        assert "registered for scenario" in capsys.readouterr().err
+
+    def test_solve_workers_match_serial_iterations(self, capsys):
+        assert main(["solve", "--rows", "8", "--m", "3", "-P",
+                     "--rhs", "4"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["solve", "--rows", "8", "--m", "3", "-P",
+                     "--rhs", "4", "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+
+        def iters(text):
+            for line in text.splitlines():
+                if line.startswith("iterations per column"):
+                    return line
+            return None
+
+        assert iters(serial) == iters(sharded)
+
+    def test_solve_auto_model_cyber(self, capsys):
+        code = main(["solve", "--rows", "12", "--m", "auto",
+                     "--auto-model", "cyber"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CYBER-machine calibrated" in out
+
+    def test_table2_workers_match_serial(self, capsys):
+        assert main(["table2", "--meshes", "8", "--eps", "1e-6"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table2", "--meshes", "8", "--eps", "1e-6",
+                     "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if not line.startswith("Table 2")
+        ]
+        assert strip(serial) == strip(sharded)
+        assert "sharded over 2 worker processes" in sharded
+
+    def test_recommend_sharded_pricing(self, capsys):
+        code = main(["recommend", "--rows", "8", "--b-over-a", "0.7",
+                     "--b-marginal", "0.2", "--rhs", "8", "--workers", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded over 4 workers" in out
+        assert "over 4 shards" in out

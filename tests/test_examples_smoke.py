@@ -70,3 +70,12 @@ class TestHeavyExamplesImportable:
     def test_module_loads_and_has_main(self, name):
         module = load_example(name)
         assert callable(module.main)
+
+
+class TestParallelTour:
+    def test_parallel_tour(self, capsys):
+        load_example("parallel_tour").main()
+        out = capsys.readouterr().out
+        assert "bitwise identical to the serial block lockstep" in out
+        assert "worker processes" in out
+        assert "CYBER schedule cells sharded" in out

@@ -1,0 +1,117 @@
+"""The WorkloadSpec multi-load registry (ISSUE 5)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    SolverPlan,
+    SolverSession,
+    available_workloads,
+    build_scenario,
+    build_workload,
+    register_workload,
+    workload,
+)
+from repro.pipeline.problems import PRESSURE_FACTORS
+
+
+@pytest.fixture(scope="module")
+def plate():
+    return build_scenario("plate", nrows=8)
+
+
+class TestWorkloadRegistry:
+    def test_stock_workloads_present(self):
+        names = {spec.name for spec in available_workloads()}
+        assert {
+            "plate-service", "pressure-family", "thermal-family",
+            "point-family",
+        } <= names
+
+    def test_every_stock_workload_builds_its_block(self, plate):
+        for spec in available_workloads():
+            F = build_workload(spec.name, plate)
+            assert F.shape == (plate.f.shape[0], spec.width)
+            assert spec.width == len(spec.case_labels)
+            assert np.all(np.isfinite(F))
+            assert all(
+                np.linalg.norm(F[:, j]) > 0 for j in range(spec.width)
+            )
+
+    def test_unknown_workload_raises_with_listing(self):
+        with pytest.raises(KeyError, match="plate-service"):
+            workload("no-such-workload")
+
+    def test_pressure_family_is_the_documented_sweep(self, plate):
+        F = build_workload("pressure-family", plate)
+        f = np.asarray(plate.f, dtype=float)
+        for j, factor in enumerate(PRESSURE_FACTORS):
+            assert np.array_equal(F[:, j], factor * f)
+
+    def test_plate_service_shear_is_not_a_pressure_rescale(self, plate):
+        F = build_workload("plate-service", plate)
+        pressure, shear = F[:, 0], F[:, 1]
+        # A genuinely different load direction: nowhere near collinear.
+        cosine = abs(
+            float(pressure @ shear)
+            / (np.linalg.norm(pressure) * np.linalg.norm(shear))
+        )
+        assert cosine < 0.5
+
+    def test_solver_plan_compiles_width_to_block_rhs(self):
+        spec = workload("plate-service")
+        plan = spec.solver_plan()
+        assert plan.block_rhs == spec.width
+        custom = spec.solver_plan(SolverPlan.table2(), eps=1e-8)
+        assert custom.block_rhs == spec.width
+        assert custom.eps == 1e-8
+        assert custom.schedule == SolverPlan.table2().schedule
+
+    def test_registration_roundtrip(self, plate):
+        def two_loads(problem):
+            f = np.asarray(problem.f, dtype=float)
+            return np.stack([f, -f], axis=1)
+
+        register_workload(
+            "test-two-loads", "plate", two_loads, "test-only entry",
+            ("plus", "minus"),
+        )
+        try:
+            F = build_workload("test-two-loads", plate)
+            assert F.shape[1] == 2
+            assert np.array_equal(F[:, 1], -F[:, 0])
+        finally:
+            from repro.pipeline import problems
+
+            del problems._WORKLOADS["test-two-loads"]
+
+    def test_wrong_shape_builder_is_rejected(self, plate):
+        register_workload(
+            "test-bad-shape", "plate",
+            lambda problem: np.zeros((3, 1)), "broken entry", ("only",),
+        )
+        try:
+            with pytest.raises(ValueError, match="test-bad-shape"):
+                build_workload("test-bad-shape", plate)
+        finally:
+            from repro.pipeline import problems
+
+            del problems._WORKLOADS["test-bad-shape"]
+
+    def test_plate_service_needs_a_plate(self):
+        poisson = build_scenario("poisson", n_grid=6)
+        with pytest.raises(ValueError, match="plate scenario"):
+            build_workload("plate-service", poisson)
+
+
+class TestWorkloadSolves:
+    def test_every_family_converges_through_the_block_path(self, plate):
+        session = SolverSession(
+            plate, plan=SolverPlan.single(3, True, eps=1e-7)
+        )
+        for spec in available_workloads():
+            F = spec.build_block(plate)
+            block = session.solve_cell_block(3, True, F=F)
+            assert block.result.all_converged
+            resid = float(np.max(np.abs(F - plate.k @ block.u)))
+            assert resid < 1e-4

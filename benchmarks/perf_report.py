@@ -88,8 +88,13 @@ M_PCG = 3  # the m used for full-solve timings
 BLOCK_WIDTH = 6  # right-hand sides in the block-PCG benchmark
 FEM_PROCS = 4  # processor count for the FEM-schedule benchmark
 SHARD_WIDTH = 16  # right-hand sides in the sharded block-PCG benchmark (k ≥ 8)
-SHARD_WORKERS = 4  # worker processes for the sharded benchmark
-SHARD_GROUP = 4  # columns per shard (SHARD_WIDTH / SHARD_WORKERS)
+SHARD_WORKERS = 4  # worker-process pool for the sharded benchmark
+#: Columns per shard.  The 2-D shard grid decouples this from the pool
+#: size: 8-wide groups halve the per-apply fixed costs a narrow lockstep
+#: pays (the compiled CSR kernels lose ~2× throughput at width 4), which
+#: is what keeps the single-core dispatch-overhead ratio near 1.0 while
+#: multi-core hosts still fan the groups out across the pool.
+SHARD_GROUP = 8
 
 
 def _time_call(fn, repeats: int, min_seconds: float = 0.02) -> float:
@@ -275,22 +280,38 @@ def bench_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
     return out
 
 
-def bench_sharded_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
+def bench_sharded_block_pcg(
+    problem, blocked, repeats: int, eps: float, steady: bool = True
+) -> dict:
     """Sharded vs serial block-PCG on one compiled session.
 
     A ``SHARD_WIDTH``-wide load block through
     :meth:`SolverSession.solve_cell_block` serially (one ``block_pcg``
     lockstep) versus sharded over ``SHARD_WORKERS`` worker processes in
     ``SHARD_GROUP``-column groups (:func:`repro.parallel.sharded_block_pcg`).
-    The worker pool and the workers' compiled shard state are warmed
-    before timing (the steady state of a service loop), so the recorded
-    ``speedup`` is dispatch + parallel compute vs serial compute.
-    Per-column iteration counts are bitwise identical by contract; the
-    benchmark itself asserts it and the gate flags any drift.  The
-    absolute ≥1.5× target is enforced only on hosts with at least
-    ``SHARDED_MIN_CORES`` cores (``requires_cores`` in the row) — a
-    single-core box can only measure overhead, not parallelism.
+
+    ``steady`` (the default) measures the service-loop steady state: the
+    session pre-publishes the operator's shared-memory segments and
+    pre-warms the pool (:meth:`SolverSession.prewarm_sharding`), then one
+    full warm-up dispatch — the one that pays segment attachment and
+    first-touch page faults — runs *excluded from timing*, so the
+    recorded ``speedup`` is the recurring dispatch + parallel compute
+    against serial compute.  ``steady=False`` (``--sharded-cold``) skips
+    both and folds the one-time costs into the measurement.
+
+    The row also records the per-dispatch pickled payload of both
+    transports (``dispatch_bytes_shm`` vs ``dispatch_bytes_pickled``) —
+    the zero-copy plan's bytes-on-the-pipe win, independent of timing
+    noise.  Per-column iteration counts are bitwise identical by
+    contract; the benchmark itself asserts it and the gate flags any
+    drift.  The absolute ≥1.5× target is enforced only on hosts with at
+    least ``SHARDED_MIN_CORES`` cores (``requires_cores`` in the row) — a
+    single-core box can only measure dispatch overhead, not parallelism.
     """
+    import pickle
+
+    from repro.parallel import build_shard_specs, column_groups
+    from repro.parallel.shards import matrix_token
     from repro.pipeline import SolverPlan, SolverSession, synthetic_load_block
 
     session = SolverSession(
@@ -300,6 +321,13 @@ def bench_sharded_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
     )
     session.compile()
     F = synthetic_load_block(problem, SHARD_WIDTH)
+    sharding = (SHARD_WORKERS, SHARD_GROUP)
+    if steady:
+        session.prewarm_sharding(sharding)
+        # One full warm-up dispatch, excluded from the timed repeats:
+        # first-touch costs (segment publication, worker attachment, page
+        # faults) are one-time, not steady-state.
+        session.solve_cell_block(M_PCG, F=F, sharding=sharding)
     iterations: dict[str, dict[str, int]] = {}
 
     def run_serial() -> None:
@@ -310,9 +338,7 @@ def bench_sharded_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
         }
 
     def run_sharded() -> None:
-        block = session.solve_cell_block(
-            M_PCG, F=F, sharding=(SHARD_WORKERS, SHARD_GROUP)
-        )
+        block = session.solve_cell_block(M_PCG, F=F, sharding=sharding)
         assert block.result.all_converged
         iterations["sharded"] = {
             str(j): int(block.iterations[j]) for j in range(SHARD_WIDTH)
@@ -327,11 +353,27 @@ def bench_sharded_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
             "sharded and serial block-PCG disagree on iteration counts"
         )
     out["speedup"] = out["serial_s"] / out["sharded_s"]
+    out["mode"] = "steady" if steady else "cold"
+    # Bytes each dispatch actually pickles onto the worker pipe, per
+    # transport (the zero-copy plan ships handles; the fallback ships the
+    # flat CSR arrays and the RHS slice with every spec).
+    k = blocked.permuted
+    f_mc = np.ascontiguousarray(
+        blocked.ordering.permute_vector(np.asarray(F, dtype=float))
+    )
+    groups = column_groups(SHARD_WIDTH, SHARD_WORKERS, SHARD_GROUP)
+    recipe = session._shard_recipe(M_PCG, False)
+    light, _ = build_shard_specs(k, f_mc, recipe, groups, eps=eps, use_shm=True)
+    heavy, _ = build_shard_specs(k, f_mc, recipe, groups, eps=eps, use_shm=False)
+    out["dispatch_bytes_shm"] = sum(len(pickle.dumps(s)) for s in light)
+    out["dispatch_bytes_pickled"] = sum(len(pickle.dumps(s)) for s in heavy)
     out["iterations"] = iterations
     out["width"] = SHARD_WIDTH
     out["workers"] = SHARD_WORKERS
     out["group"] = SHARD_GROUP
     out["requires_cores"] = SHARDED_MIN_CORES
+    session._shm_tokens.add(matrix_token(k))
+    session.close()
     return out
 
 
@@ -379,7 +421,11 @@ def bench_fem_schedule(problem, blocked, repeats: int, eps: float) -> dict:
 
 
 def build_report(
-    meshes=(20, 41), repeats: int = 3, eps: float = 1e-6, table2_mesh: int | None = None
+    meshes=(20, 41),
+    repeats: int = 3,
+    eps: float = 1e-6,
+    table2_mesh: int | None = None,
+    sharded_steady: bool = True,
 ) -> dict:
     """Run every measurement and assemble the JSON-ready report dict."""
     meshes = list(meshes)
@@ -423,7 +469,7 @@ def build_report(
             # Sharding pays off when each shard carries real compute, so
             # the parallel benchmark runs on the largest mesh.
             results["sharded_block_pcg"][key] = bench_sharded_block_pcg(
-                problem, blocked, repeats, eps
+                problem, blocked, repeats, eps, steady=sharded_steady
             )
 
     largest = f"a={max(meshes)}"
@@ -452,6 +498,7 @@ def build_report(
             "m_apply": M_APPLY,
             "m_pcg": M_PCG,
             "table2_mesh": table2_mesh,
+            "sharded_mode": "steady" if sharded_steady else "cold",
         },
         "results": results,
         "targets": {
@@ -599,6 +646,12 @@ def main(argv=None) -> int:
         "fail if any recorded speedup regresses beyond the tolerance",
     )
     parser.add_argument(
+        "--sharded-cold", action="store_true",
+        help="measure the sharded block-PCG benchmark cold (no pool "
+        "pre-warm, no excluded warm-up dispatch) instead of the default "
+        "steady-state mode",
+    )
+    parser.add_argument(
         "--check-tolerance", type=float, default=0.5,
         help="a fresh speedup may not fall below this fraction of its "
         "baseline value (default 0.5)",
@@ -653,6 +706,7 @@ def main(argv=None) -> int:
     report = build_report(
         meshes=meshes, repeats=args.repeats, eps=args.eps,
         table2_mesh=args.table2_mesh,
+        sharded_steady=not args.sharded_cold,
     )
     out_path = Path(args.out)
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

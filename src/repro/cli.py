@@ -190,6 +190,10 @@ def _cmd_solve(args) -> int:
     else:
         F = _rhs_block(problem, width)
     sharding = workers if workers > 1 else None
+    if sharding is not None:
+        # Publish the operator segments and warm the pool before the
+        # solve: the dispatch then ships only column indices.
+        session.prewarm_sharding(sharding)
     block = session.solve_cell_block(m, parametrized, F=F, sharding=sharding)
     resid = float(np.max(np.abs(F - problem.k @ block.u)))
     iters = ", ".join(str(int(i)) for i in block.iterations)

@@ -453,11 +453,25 @@ def block_pcg(
                 r.append(np.asarray(f_cols[j] - k @ u[j], dtype=float))
         counters[j].matvecs += 1
 
+    # Per-width scratch blocks, reused across iterations: the active set
+    # only shrinks as columns retire, so a handful of widths ever appear
+    # and the steady-state loop stacks into preallocated storage instead
+    # of allocating two (n, active) blocks per iteration.
+    stack_bufs: dict[int, np.ndarray] = {}
+    kp_bufs: dict[int, np.ndarray] = {}
+
+    def _stack_buf(bufs: dict[int, np.ndarray], width: int) -> np.ndarray:
+        buf = bufs.get(width)
+        if buf is None:
+            buf = bufs.setdefault(width, np.empty((n, width)))
+        return buf
+
     def apply_precond(cols: list[int]) -> list[np.ndarray]:
         """``M⁻¹`` on the active columns — one batched pass when possible."""
         before = m.counter.as_dict() if has_counter else None
         if len(cols) > 1 and block_precond:
-            r_block = np.stack([r[j] for j in cols], axis=1)
+            r_block = _stack_buf(stack_bufs, len(cols))
+            np.stack([r[j] for j in cols], axis=1, out=r_block)
             rt_block = np.asarray(m.apply(r_block), dtype=float)
             out = [np.ascontiguousarray(rt_block[:, i]) for i in range(len(cols))]
         else:
@@ -483,8 +497,10 @@ def block_pcg(
             break
         # ---- K p over the active block: one batched product -------------
         if len(active) > 1 and block_matvec:
-            p_block = np.stack([p[j] for j in active], axis=1)
-            kp_block = np.zeros((n, len(active)))
+            p_block = _stack_buf(stack_bufs, len(active))
+            np.stack([p[j] for j in active], axis=1, out=p_block)
+            kp_block = _stack_buf(kp_bufs, len(active))
+            kp_block.fill(0.0)
             matvec_accumulate(k, p_block, kp_block)
             kp = [np.ascontiguousarray(kp_block[:, i]) for i in range(len(active))]
         else:

@@ -133,6 +133,41 @@ class BlockedMatrix:
         )
 
     @cached_property
+    def lower_merged(self) -> tuple[sp.csr_matrix | None, ...]:
+        """``lower_merged[c]`` = ``K[rows_c, :start_c]`` — the whole lower
+        block row as **one** CSR operand.
+
+        Because the multicolor groups occupy contiguous ascending slices,
+        ``lower_merged[c] @ x[:start_c]`` equals the sequential per-block
+        sum ``Σ_{j<c} B_cj x_j`` *bitwise*: each CSR row holds the blocks'
+        entries in ascending column order, which is exactly the addition
+        sequence the per-block loop performs.  One kernel call per color
+        instead of one per block — the sweeps' per-call fixed cost is what
+        narrow sharded column groups are most sensitive to.
+
+        ``None`` marks an empty row (color 0, or no lower coupling).
+        """
+        slices = self.group_slices
+        merged: list[sp.csr_matrix | None] = []
+        for c in range(self.n_groups):
+            start = slices[c].start
+            block = self.permuted[slices[c], :start].tocsr() if start else None
+            merged.append(block if block is not None and block.nnz else None)
+        return tuple(merged)
+
+    @cached_property
+    def upper_merged(self) -> tuple[sp.csr_matrix | None, ...]:
+        """``upper_merged[c]`` = ``K[rows_c, stop_c:]`` — the whole upper
+        block row as one CSR operand (see :attr:`lower_merged`)."""
+        slices = self.group_slices
+        merged: list[sp.csr_matrix | None] = []
+        for c in range(self.n_groups):
+            stop = slices[c].stop
+            block = self.permuted[slices[c], stop:].tocsr() if stop < self.n else None
+            merged.append(block if block is not None and block.nnz else None)
+        return tuple(merged)
+
+    @cached_property
     def offdiag_block_list(self) -> tuple[tuple[tuple[int, sp.csr_matrix], ...], ...]:
         """``offdiag_block_list[c]`` = all ``(j, B_cj)`` pairs, ``j ≠ c``."""
         return tuple(

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.kernels.ops import matvec_accumulate
+from repro.kernels.ops import bind_matvec_accumulate, matvec_accumulate
 from repro.kernels.workspace import WorkspacePool
 from repro.multicolor.blocked import BlockedMatrix
 from repro.util import OperationCounter, inf_norm, require
@@ -207,6 +207,44 @@ class MStepSSOR:
     def m(self) -> int:
         return int(self.coefficients.size)
 
+    def _bound_sweep_ops(self):
+        """Per-color sweep kernels over the *merged* block rows.
+
+        ``(lower_ops, upper_ops, lower_counts, upper_counts)``:
+        ``lower_ops[c]`` is an ``accumulate(x, out)`` closure for the whole
+        lower block row (``None`` when empty), acting on the contiguous
+        color prefix — one compiled-kernel call per color per sweep instead
+        of one per block, bit-identical by construction (see
+        :attr:`~repro.multicolor.blocked.BlockedMatrix.lower_merged`).  The
+        guards are bound once (:func:`~repro.kernels.ops.bind_matvec_accumulate`),
+        so the per-call cost no longer depends on the block width — which
+        is what lets narrow sharded column groups pay serial-identical
+        per-iteration overhead.  The count tables preserve the *logical*
+        block-multiply numbers the paper's operation counts charge.
+        Built lazily, cached for the applicator's lifetime.
+        """
+        cached = self.__dict__.get("_sweep_kernels")
+        if cached is None:
+            def bind(merged):
+                return tuple(
+                    None
+                    if block is None
+                    else (
+                        bind_matvec_accumulate(block)
+                        or (lambda x, out, b=block: matvec_accumulate(b, x, out))
+                    )
+                    for block in merged
+                )
+
+            cached = (
+                bind(self.blocked.lower_merged),
+                bind(self.blocked.upper_merged),
+                tuple(len(pairs) for pairs in self.blocked.lower_block_list),
+                tuple(len(pairs) for pairs in self.blocked.upper_block_list),
+            )
+            self.__dict__["_sweep_kernels"] = cached
+        return cached
+
     # ------------------------------------------------------- fast application
     def apply(self, r: np.ndarray) -> np.ndarray:
         """``M_m⁻¹ r`` via the Conrad–Wallach merged sweeps (Algorithm 2).
@@ -227,72 +265,120 @@ class MStepSSOR:
         nc = blocked.n_groups
         m = self.m
         alphas = self.coefficients
-        lower_blocks = blocked.lower_block_list
-        upper_blocks = blocked.upper_block_list
+        lower_ops, upper_ops, lower_counts, upper_counts = self._bound_sweep_ops()
+        slices = blocked.group_slices
         diagonals = blocked.diagonals
         pool = self.workspace
 
         r = np.asarray(r, dtype=float)
         rt_pooled = pool.peek("rt")
         if rt_pooled is not None and np.may_share_memory(r, rt_pooled):
-            # The caller fed us our own pooled result; zero-filling it below
+            # The caller fed us our own pooled result; overwriting it below
             # would silently destroy the input.
             r = r.copy()
-        rt = pool.zeros("rt", r.shape)
-        rg = _group_views(blocked, r)
+
+        # Buffer bundle, memoized per input shape: the result rt, the α·r
+        # scratch, and the per-color y/x auxiliaries.  None needs a
+        # zero-fill — every element is written before it is read (the first
+        # Horner step skips the then-empty upper sums outright, and every
+        # later read sees a buffer block_sum fully rewrote) — and memoizing
+        # skips the per-apply pool lookups, which a narrow sharded group
+        # pays as a pure fixed cost thousands of times per solve.
+        cache = self.__dict__.get("_apply_buffers")
+        if cache is None or cache[0] != r.shape:
+            tail = r.shape[1:]
+            group_shapes = [(d.shape[0],) + tail for d in diagonals]
+            cache = (
+                r.shape,
+                pool.get("rt", r.shape),
+                pool.get("ar", r.shape),
+                pool.get_list("y", group_shapes),
+                pool.get_list("x", group_shapes),
+                (
+                    diagonals
+                    if r.ndim == 1
+                    # Expanded to full width: dividing by a contiguous
+                    # (g, k) block is ~2× faster than broadcasting the
+                    # (g, 1) view, with bit-identical quotients.
+                    else [
+                        np.ascontiguousarray(
+                            np.broadcast_to(d[:, None], d.shape + tail)
+                        )
+                        for d in diagonals
+                    ]
+                ),
+            )
+            self.__dict__["_apply_buffers"] = cache
+        _, rt, ar, y, xs, divisors = cache
         xg = _group_views(blocked, rt)
-        tail = r.shape[1:]
-        group_shapes = [(d.shape[0],) + tail for d in diagonals]
-        y = pool.zeros_list("y", group_shapes)
-        xs = pool.get_list("x", group_shapes)
+        arg = _group_views(blocked, ar)
         multiplies = 0
         solves = 0
 
-        def block_sum_neg(pairs, buf: np.ndarray) -> np.ndarray:
+        def lower_sum(c: int, buf: np.ndarray) -> np.ndarray:
+            # Σ_{j<c} B_cj x_j as one merged product on the color prefix.
             buf.fill(0.0)
-            for j, block in pairs:
-                matvec_accumulate(block, xg[j], buf)
-            np.negative(buf, out=buf)
+            op = lower_ops[c]
+            if op is not None:
+                op(rt[: slices[c].start], buf)
             return buf
 
-        def solve_into(c: int, x: np.ndarray, yc, alpha: float) -> None:
+        def upper_sum(c: int, buf: np.ndarray) -> np.ndarray:
+            # Σ_{j>c} B_cj x_j as one merged product on the color suffix.
+            buf.fill(0.0)
+            op = upper_ops[c]
+            if op is not None:
+                op(rt[slices[c].stop :], buf)
+            return buf
+
+        def solve_into(c: int, x: np.ndarray, yc) -> None:
+            # zc ← (α·r_c − y_c − x) / D_c, reading α·r from the per-step
+            # batched product.  Subtracting the positive sums is bitwise
+            # what adding pre-negated ones was (IEEE a − s ≡ a + (−s)) and
+            # saves the sweeps one negation pass per sum.
             zc = xg[c]
-            np.multiply(rg[c], alpha, out=zc)
-            if yc is not None:
-                zc += yc
-            zc += x
-            zc /= diagonals[c] if r.ndim == 1 else diagonals[c][:, None]
+            if yc is None:
+                np.subtract(arg[c], x, out=zc)
+            else:
+                np.subtract(arg[c], yc, out=zc)
+                zc -= x
+            zc /= divisors[c]
 
         for s in range(1, m + 1):
-            alpha = alphas[m - s]
-            # Forward sweep c = 0 … nc−1; y[c] holds −(upper sum) from the
-            # previous backward pass, x accumulates −(lower sum).
+            # One batched α_{m−s}·r for the whole step — per-color solves
+            # then read their slice, same elementwise product, fewer
+            # dispatches than a per-color multiply.
+            np.multiply(r, alphas[m - s], out=ar)
+            first = s == 1
+            # Forward sweep c = 0 … nc−1; y[c] holds the upper sum from the
+            # previous backward pass (none yet on the first step), x
+            # accumulates the lower sum.
             for c in range(nc):
-                x = block_sum_neg(lower_blocks[c], xs[c])
-                multiplies += len(lower_blocks[c])
-                solve_into(c, x, y[c], alpha)
+                x = lower_sum(c, xs[c])
+                multiplies += lower_counts[c]
+                solve_into(c, x, None if first else y[c])
                 solves += 1
                 y[c], xs[c] = xs[c], y[c]
-            # Backward sweep over interior colors nc−2 … 1; y[c] holds
-            # −(lower sum) from the forward pass.
+            # Backward sweep over interior colors nc−2 … 1; y[c] holds the
+            # lower sum from the forward pass.
             for c in range(nc - 2, 0, -1):
-                x = block_sum_neg(upper_blocks[c], xs[c])
-                multiplies += len(upper_blocks[c])
-                solve_into(c, x, y[c], alpha)
+                x = upper_sum(c, xs[c])
+                multiplies += upper_counts[c]
+                solve_into(c, x, y[c])
                 solves += 1
                 y[c], xs[c] = xs[c], y[c]
             # The last color's upper sum is empty; reset for the next forward.
             if nc >= 2:
                 y[nc - 1].fill(0.0)
             # First color: compute its upper sum with the final values of this
-            # step.  It closes the step (coefficient α_{m−s}) on the last step
-            # — the paper's explicit step (3) — and otherwise feeds the next
+            # step.  It closes the step (coefficient α₀) on the last step —
+            # the paper's explicit step (3) — and otherwise feeds the next
             # forward sweep's first solve.
             if nc >= 2:
-                x = block_sum_neg(upper_blocks[0], xs[0])
-                multiplies += len(upper_blocks[0])
+                x = upper_sum(0, xs[0])
+                multiplies += upper_counts[0]
                 if s == m:
-                    solve_into(0, x, None, alpha)
+                    solve_into(0, x, None)
                     solves += 1
                 else:
                     y[0], xs[0] = xs[0], y[0]

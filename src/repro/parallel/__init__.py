@@ -18,11 +18,20 @@ bitwise contracts:
 Workers receive picklable specs (:class:`ShardSpec`,
 :class:`ApplicatorRecipe`, :class:`ScheduleShard`) and rebuild compiled
 state through the same constructors the serial paths use — live
-applicators and machines are never pickled.  ``workers=1`` everywhere
-means "inline, no processes": the serial code path, exactly.
+applicators and machines are never pickled.  The value-carrying arrays
+(CSR operator, right-hand-side and output blocks) move through named
+shared-memory segments owned by the :class:`~repro.parallel.shm.
+SegmentRegistry`, with workers mapping zero-copy read-only views — see
+:mod:`repro.parallel.shm` — so the steady-state dispatch ships only
+column indices.  ``workers=1`` everywhere means "inline, no processes":
+the serial code path, exactly.
 """
 
-from repro.parallel.block import column_groups, sharded_block_pcg
+from repro.parallel.block import (
+    build_shard_specs,
+    column_groups,
+    sharded_block_pcg,
+)
 from repro.parallel.executor import (
     available_workers,
     effective_workers,
@@ -36,9 +45,20 @@ from repro.parallel.shards import (
     ShardResult,
     ShardSpec,
     run_shard,
+    shard_token,
+    warm_shard,
+)
+from repro.parallel.shm import (
+    ArrayView,
+    CSRHandle,
+    SegmentRegistry,
+    registry,
+    release_all_segments,
+    shm_enabled,
 )
 
 __all__ = [
+    "build_shard_specs",
     "column_groups",
     "sharded_block_pcg",
     "available_workers",
@@ -53,4 +73,12 @@ __all__ = [
     "ShardResult",
     "ShardSpec",
     "run_shard",
+    "shard_token",
+    "warm_shard",
+    "ArrayView",
+    "CSRHandle",
+    "SegmentRegistry",
+    "registry",
+    "release_all_segments",
+    "shm_enabled",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.pcg import BlockPCGResult, block_pcg
+from repro.parallel import shm
 from repro.parallel.executor import effective_workers, run_tasks
 from repro.parallel.shards import (
     ApplicatorRecipe,
@@ -35,7 +36,7 @@ from repro.parallel.shards import (
 )
 from repro.util import require
 
-__all__ = ["column_groups", "sharded_block_pcg"]
+__all__ = ["column_groups", "build_shard_specs", "sharded_block_pcg"]
 
 
 def column_groups(
@@ -60,6 +61,78 @@ def column_groups(
     ]
 
 
+def build_shard_specs(
+    k,
+    F: np.ndarray,
+    recipe: ApplicatorRecipe,
+    groups: list[np.ndarray],
+    *,
+    u0: np.ndarray | None = None,
+    stopping=None,
+    eps: float = 1e-6,
+    maxiter: int | None = None,
+    track_residual: bool = False,
+    use_shm: bool | None = None,
+) -> tuple[list[ShardSpec], object]:
+    """The dispatchable :class:`ShardSpec` list for one sharded block solve.
+
+    On the zero-copy path (``use_shm`` true, the default when
+    :func:`repro.parallel.shm.shm_enabled`) the operator's CSR arrays and
+    the ``(n, k)`` blocks are published to the segment registry — cached
+    per operator token, so a steady-state dispatch re-publishes only the
+    right-hand-side values (one memcpy) — and the specs carry segment
+    handles plus column indices.  Returns ``(specs, out_view)`` where
+    ``out_view`` is the shared output block's
+    :class:`~repro.parallel.shm.ArrayView` (``None`` on the pickled
+    fallback, where each spec carries its own ``(n, g)`` slice and the
+    iterates ride back through the result pickle).
+    """
+    F = np.asarray(F, dtype=float)
+    n, ncols = F.shape
+    if u0 is not None:
+        u0 = np.asarray(u0, dtype=float)
+    use_shm = shm.shm_enabled() if use_shm is None else use_shm
+    token = f"{matrix_token(k)}:{recipe.fingerprint()}"
+    common = dict(
+        token=token, recipe=recipe, eps=eps, maxiter=maxiter,
+        track_residual=track_residual, stopping=stopping,
+    )
+
+    if use_shm:
+        reg = shm.registry()
+        mtoken = matrix_token(k)
+        operator = reg.publish_operator(mtoken, k)
+        f_view = reg.publish_block(mtoken, "rhs", F)
+        u0_common = None
+        if u0 is not None and u0.ndim == 2:
+            u0_common = reg.publish_block(mtoken, "u0", u0)
+        elif u0 is not None:
+            u0_common = u0  # a single (n,) guess is cheap enough to pickle
+        out_view = reg.alloc_block(mtoken, "out", (n, ncols))
+        specs = [
+            ShardSpec(
+                matrix=operator, columns=cols, F=f_view, u0=u0_common,
+                out=out_view, **common,
+            )
+            for cols in groups
+        ]
+        return specs, out_view
+
+    payload = CSRPayload.from_matrix(k)
+    specs = []
+    for cols in groups:
+        u0_slice = None
+        if u0 is not None:
+            u0_slice = u0 if u0.ndim == 1 else np.ascontiguousarray(u0[:, cols])
+        specs.append(
+            ShardSpec(
+                matrix=payload, columns=cols,
+                F=np.ascontiguousarray(F[:, cols]), u0=u0_slice, **common,
+            )
+        )
+    return specs, None
+
+
 def sharded_block_pcg(
     k,
     F: np.ndarray,
@@ -73,6 +146,7 @@ def sharded_block_pcg(
     eps: float = 1e-6,
     maxiter: int | None = None,
     track_residual: bool = False,
+    use_shm: bool | None = None,
 ) -> BlockPCGResult:
     """Solve ``K U = F`` with the RHS block sharded across worker processes.
 
@@ -93,12 +167,19 @@ def sharded_block_pcg(
         a recipe or a live ``preconditioner`` works there.  Passing *both*
         is an error — ambiguity about which object defines the numerics is
         exactly what this layer must not have.
+    use_shm:
+        Force the transport: ``True`` the zero-copy shared-memory plan
+        (operator and blocks mapped once, workers view them in place,
+        iterates returned through a shared output block), ``False`` the
+        pickled :class:`~repro.parallel.shards.CSRPayload` fallback.
+        Default: shared memory unless ``REPRO_NO_SHM`` is set.  The two
+        transports are bitwise identical — the views *are* the bytes.
 
     Every column of the result — iterate, iteration count, histories,
     operation counter — is bitwise identical to the single-process
     ``block_pcg`` over the full block (and hence to ``k`` solo ``pcg``
-    runs), for any ``workers``/``group`` partition; the tests pin all of
-    W ∈ {1, 2, 4}.
+    runs), for any ``workers``/``group`` partition and either transport;
+    the tests pin all of W ∈ {1, 2, 4}.
     """
     F = np.asarray(F, dtype=float)
     require(F.ndim == 2, "sharded_block_pcg needs an (n, k) right-hand-side block")
@@ -124,34 +205,19 @@ def sharded_block_pcg(
         "recipe (ApplicatorRecipe), not a live preconditioner",
     )
     recipe = recipe if recipe is not None else ApplicatorRecipe(kind="none")
-    payload = CSRPayload.from_matrix(k)
-    token = f"{matrix_token(k)}:{recipe.fingerprint()}"
-    if u0 is not None:
-        u0 = np.asarray(u0, dtype=float)
-
-    specs = []
-    for cols in groups:
-        u0_slice = None
-        if u0 is not None:
-            u0_slice = u0 if u0.ndim == 1 else np.ascontiguousarray(u0[:, cols])
-        specs.append(
-            ShardSpec(
-                token=token,
-                matrix=payload,
-                recipe=recipe,
-                columns=cols,
-                F=np.ascontiguousarray(F[:, cols]),
-                u0=u0_slice,
-                eps=eps,
-                maxiter=maxiter,
-                track_residual=track_residual,
-                stopping=stopping,
-            )
-        )
+    specs, out_view = build_shard_specs(
+        k, F, recipe, groups, u0=u0, stopping=stopping, eps=eps,
+        maxiter=maxiter, track_residual=track_residual, use_shm=use_shm,
+    )
     shards = run_tasks(run_shard, specs, workers)
 
     # Pure placement: every shard's columns land at their global indices.
-    u = np.empty((n, ncols))
+    # On the zero-copy path the workers already placed their iterate
+    # columns into the shared output block — one contiguous copy out.
+    if out_view is not None:
+        u = np.ascontiguousarray(shm.registry().resolve(out_view))
+    else:
+        u = np.empty((n, ncols))
     iterations = np.zeros(ncols, dtype=int)
     converged = np.zeros(ncols, dtype=bool)
     delta_histories: list[list[float]] = [[] for _ in range(ncols)]
@@ -160,7 +226,8 @@ def sharded_block_pcg(
     stop_rule = shards[0].stop_rule if shards else ""
     for shard in shards:
         for local, j in enumerate(shard.columns):
-            u[:, j] = shard.u[:, local]
+            if shard.u is not None:
+                u[:, j] = shard.u[:, local]
             iterations[j] = shard.iterations[local]
             converged[j] = shard.converged[local]
             delta_histories[j] = shard.delta_histories[local]

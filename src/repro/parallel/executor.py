@@ -1,21 +1,30 @@
 """Worker-process management for the sharded execution layer.
 
-One process pool per worker count, created lazily and kept alive for the
-lifetime of the interpreter: the expensive part of real parallelism is not
-``fork``/``spawn`` itself but re-paying it (and the workers' compiled-state
-caches — see :mod:`repro.parallel.shards`) on every call.  ``workers <= 1``
-never touches ``multiprocessing`` at all: tasks run inline in the calling
-process, so the degenerate configuration is exactly the serial code path
-and is safe on any platform (and under any test harness).
+One process pool per (worker count, start method), created lazily and kept
+alive for the lifetime of the interpreter: the expensive part of real
+parallelism is not ``fork``/``spawn`` itself but re-paying it (and the
+workers' compiled-state caches — see :mod:`repro.parallel.shards`) on
+every call.  ``workers <= 1`` never touches ``multiprocessing`` at all:
+tasks run inline in the calling process, so the degenerate configuration
+is exactly the serial code path and is safe on any platform (and under
+any test harness).
 
 The functions dispatched here must be module-level (picklable by
 reference); their arguments are the picklable spec dataclasses of
-:mod:`repro.parallel.shards` and :mod:`repro.parallel.schedule`.
+:mod:`repro.parallel.shards` and :mod:`repro.parallel.schedule` — on the
+zero-copy path these are lightweight shared-memory handles, see
+:mod:`repro.parallel.shm`.
+
+``REPRO_START_METHOD`` (``fork``/``spawn``/``forkserver``) overrides the
+platform's default start method — the shared-memory transport attaches
+segments by name, so it is start-method agnostic, and the tests pin the
+``spawn`` path explicitly.
 """
 
 from __future__ import annotations
 
 import atexit
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 
@@ -23,7 +32,7 @@ from repro.util import require
 
 __all__ = ["available_workers", "effective_workers", "run_tasks", "shutdown_pools"]
 
-_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS: dict[tuple[int, str | None], ProcessPoolExecutor] = {}
 
 
 def available_workers() -> int:
@@ -39,11 +48,29 @@ def effective_workers(workers: int, n_tasks: int) -> int:
 
 
 def _pool(workers: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(workers)
+    method = os.environ.get("REPRO_START_METHOD") or None
+    key = (workers, method)
+    pool = _POOLS.get(key)
     if pool is None:
-        pool = ProcessPoolExecutor(max_workers=workers)
-        _POOLS[workers] = pool
+        context = multiprocessing.get_context(method) if method else None
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _POOLS[key] = pool
     return pool
+
+
+def _describe(spec) -> str:
+    """A failing task's identity for the error message (token + work unit)."""
+    parts = [type(spec).__name__]
+    token = getattr(spec, "token", None)
+    if token is not None:
+        parts.append(f"token={token}")
+    columns = getattr(spec, "columns", None)
+    if columns is not None:
+        parts.append(f"columns={[int(c) for c in columns]}")
+    indices = getattr(spec, "indices", None)
+    if indices is not None:
+        parts.append(f"cells={[int(i) for i in indices]}")
+    return " ".join(parts)
 
 
 def run_tasks(fn, specs, workers: int) -> list:
@@ -52,7 +79,13 @@ def run_tasks(fn, specs, workers: int) -> list:
     Results come back in task order.  ``workers <= 1`` (after clamping to
     the task count) executes inline — no processes, no pickling — which is
     what makes ``W = 1`` sharding bitwise-trivially identical to the
-    serial path.  A worker that raises re-raises here, in the parent.
+    serial path.
+
+    Each spec is submitted as its own task (the chunksize-1 discipline:
+    shards are few and heavy, so batching tasks per pipe write buys
+    nothing and costs scheduling freedom), and a worker failure re-raises
+    here wrapped with the failing spec's token and columns/cells — a
+    crashed shard is diagnosable, not an anonymous pool traceback.
     """
     specs = list(specs)
     if not specs:
@@ -60,14 +93,30 @@ def run_tasks(fn, specs, workers: int) -> list:
     workers = effective_workers(workers, len(specs))
     if workers == 1:
         return [fn(spec) for spec in specs]
-    return list(_pool(workers).map(fn, specs))
+    futures = [_pool(workers).submit(fn, spec) for spec in specs]
+    results = []
+    for future, spec in zip(futures, specs):
+        try:
+            results.append(future.result())
+        except Exception as exc:
+            for pending in futures:
+                pending.cancel()
+            raise RuntimeError(
+                f"shard task failed ({_describe(spec)}): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    return results
 
 
 def shutdown_pools() -> None:
-    """Tear down every live pool (tests; also registered at exit)."""
+    """Tear down every live pool and every published shared-memory segment
+    (tests; also registered at exit — nothing leaks even on a crashed run)."""
     for pool in _POOLS.values():
         pool.shutdown(wait=False, cancel_futures=True)
     _POOLS.clear()
+    from repro.parallel.shm import release_all_segments
+
+    release_all_segments()
 
 
 atexit.register(shutdown_pools)

@@ -50,8 +50,10 @@ class ScheduleShard:
     backend: str | None = None  # fem kernel backend
 
 
-# Per-worker-process machine cache: token → machine instance.
+# Per-worker-process machine cache: token → machine instance (LRU,
+# oldest-entry eviction — same discipline as the shard compile cache).
 _MACHINES: dict[str, object] = {}
+_MACHINES_CAP = 16
 
 
 def _build_machine(shard: ScheduleShard):
@@ -84,9 +86,11 @@ def run_schedule_shard(shard: ScheduleShard):
     machine = _MACHINES.get(shard.token)
     if machine is None:
         machine = _build_machine(shard)
-        if len(_MACHINES) > 16:  # bound the per-worker cache
-            _MACHINES.clear()
+        while len(_MACHINES) >= _MACHINES_CAP:  # evict oldest, never all
+            _MACHINES.pop(next(iter(_MACHINES)))
         _MACHINES[shard.token] = machine
+    else:
+        _MACHINES[shard.token] = _MACHINES.pop(shard.token)  # refresh LRU
     if shard.kind == "fem":
         results = machine.solve_schedule(
             list(shard.cells), eps=shard.eps, maxiter=shard.maxiter,
@@ -99,9 +103,22 @@ def run_schedule_shard(shard: ScheduleShard):
     return list(zip(shard.indices, results))
 
 
-def _chunk(cells, workers: int) -> list[tuple[int, ...]]:
-    """Balanced contiguous index chunks, one per worker."""
+def _chunk(cells, workers: int, group: int | None = None) -> list[tuple[int, ...]]:
+    """Contiguous index chunks: one per worker, or ``group`` cells each.
+
+    ``group`` is the within-pass axis of the 2-D shard grid: every chunk
+    becomes one lockstep ``solve_schedule`` pass whose *columns* are its
+    cells, so ``group`` bounds the column count of each pass while the
+    worker fan-out spreads the passes across processes.  ``None`` keeps
+    the 1-D behavior — one balanced chunk per worker.
+    """
     n = len(cells)
+    if group is not None:
+        require(group >= 1, "group (cells per lockstep pass) must be at least 1")
+        return [
+            tuple(range(start, min(start + group, n)))
+            for start in range(0, n, group)
+        ]
     shards = effective_workers(workers, n)
     bounds = np.linspace(0, n, shards + 1).astype(int)
     return [
@@ -117,6 +134,7 @@ def sharded_schedule(
     machine: str = "cyber",
     *,
     workers: int = 1,
+    group: int | None = None,
     eps: float = 1e-6,
     maxiter: int | None = None,
     n_procs: int = 1,
@@ -134,8 +152,17 @@ def sharded_schedule(
     to a single-process ``solve_schedule`` over the full list — the
     clocks/op-ledger reconciliation contract those passes already pin.
 
-    ``workers=1`` builds one machine inline and runs the ordinary pass.
-    The problem object must be picklable (every
+    ``group`` opens the second sharding axis: a lockstep
+    ``solve_schedule`` pass treats its cells as the *columns* of one
+    batched solve, so ``(workers, group)`` is a 2-D shard grid — column
+    groups of ``group`` cells inside each pass, fanned across ``workers``
+    processes (more passes than workers is legal and load-balances).
+    Because the per-cell records are partition-invariant, every grid
+    reproduces the single-pass records bitwise; the tests pin CYBER, FEM
+    and SPMD grids.
+
+    ``workers=1`` with no ``group`` builds one machine inline and runs
+    the ordinary pass.  The problem object must be picklable (every
     :class:`~repro.pipeline.ProblemSpec` product is).
     """
     require(machine in MACHINE_KINDS, f"machine must be one of {MACHINE_KINDS}")
@@ -146,7 +173,7 @@ def sharded_schedule(
         f"{matrix_token(problem)}:{machine}:{n_procs}:{reduction}:"
         f"{backend!r}:{timing!r}"
     )
-    chunks = _chunk(cells, workers)
+    chunks = _chunk(cells, workers, group)
     shards = [
         ScheduleShard(
             token=token,

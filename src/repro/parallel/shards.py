@@ -2,8 +2,8 @@
 
 Worker dispatch never pickles live solver objects — compiled applicators
 hold factorized kernels, workspace pools and lifetime counters that are
-both expensive and wrong to ship.  Instead a :class:`ShardSpec` carries the
-raw CSR payload of the (already multicolor-permuted) operator plus an
+both expensive and wrong to ship.  Instead a :class:`ShardSpec` carries a
+lightweight *handle* to the (already multicolor-permuted) operator plus an
 :class:`ApplicatorRecipe` — the same ``(kind, coefficients, ω, backend)``
 description a compiled :class:`~repro.pipeline.SolverPlan` holds — and the
 worker rebuilds the applicator through the exact constructors the serial
@@ -13,10 +13,20 @@ the identical code on the identical matrix data, every shard's
 :func:`~repro.core.pcg.block_pcg` lockstep is per-column bitwise identical
 to the single-process solve.
 
+The handle is normally a :class:`~repro.parallel.shm.CSRHandle` — segment
+names + dtypes/shapes/offsets into :mod:`multiprocessing.shared_memory`,
+from which the worker rebuilds **zero-copy read-only views** of the very
+bytes the parent published (see :mod:`repro.parallel.shm`); the
+right-hand-side block and the output block travel the same way, so the
+steady-state dispatch ships only column indices and the recipe.  A
+:class:`CSRPayload` (the flat pickled arrays) remains as the
+``REPRO_NO_SHM`` fallback — same numerics, heavier pipe.
+
 Workers cache their compiled state by the spec's ``token`` (one entry per
-operator/recipe pair), so repeated solves against the same compiled
-session — the steady state of every benchmark and service loop — pay the
-CSR unpickling but not the refactorization.
+operator/recipe pair) with least-recently-used eviction, so repeated
+solves against the same compiled session — the steady state of every
+benchmark and service loop — pay neither transfer nor refactorization,
+and a burst of one-off tokens can never evict a hot session's entry.
 """
 
 from __future__ import annotations
@@ -27,9 +37,18 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.parallel import shm
 from repro.util import OperationCounter, require
 
-__all__ = ["CSRPayload", "ApplicatorRecipe", "ShardSpec", "ShardResult", "run_shard"]
+__all__ = [
+    "CSRPayload",
+    "ApplicatorRecipe",
+    "ShardSpec",
+    "ShardResult",
+    "run_shard",
+    "warm_shard",
+    "shard_token",
+]
 
 
 @dataclass(frozen=True)
@@ -121,14 +140,26 @@ class ApplicatorRecipe:
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """One column group's solve, self-contained and picklable."""
+    """One column group's solve, self-contained and picklable.
+
+    On the zero-copy path ``matrix`` is a
+    :class:`~repro.parallel.shm.CSRHandle` and ``F``/``u0``/``out`` are
+    :class:`~repro.parallel.shm.ArrayView` handles over the *full*
+    ``(n, k)`` blocks — the worker slices its own contiguous column range
+    out of the mapped segment without copying, and writes its iterate
+    columns into ``out`` so nothing wide is pickled in either direction.
+    On the pickled fallback ``matrix`` is a :class:`CSRPayload`, ``F`` the
+    ``(n, g)`` slice itself, and ``out`` is ``None`` (the iterates ride
+    back in :attr:`ShardResult.u`).
+    """
 
     token: str  # worker compile-cache key (operator + recipe)
-    matrix: CSRPayload
+    matrix: object  # CSRHandle (zero-copy) or CSRPayload (pickled fallback)
     recipe: ApplicatorRecipe
     columns: np.ndarray  # global column indices of this group
-    F: np.ndarray  # (n, g) right-hand-side slice, C-ordered
-    u0: np.ndarray | None = None
+    F: object  # ArrayView over the full block, or the (n, g) slice itself
+    u0: object | None = None  # ArrayView, (n, g)/(n,) ndarray, or None
+    out: object | None = None  # ArrayView of the shared (n, k) output block
     eps: float = 1e-6
     maxiter: int | None = None
     track_residual: bool = False
@@ -137,10 +168,14 @@ class ShardSpec:
 
 @dataclass
 class ShardResult:
-    """One shard's :class:`~repro.core.pcg.BlockPCGResult`, flattened."""
+    """One shard's :class:`~repro.core.pcg.BlockPCGResult`, flattened.
+
+    ``u`` is ``None`` when the iterates went back through the spec's
+    shared output block instead of the pipe.
+    """
 
     columns: np.ndarray
-    u: np.ndarray
+    u: np.ndarray | None
     iterations: np.ndarray
     converged: np.ndarray
     delta_histories: list[list[float]]
@@ -149,8 +184,13 @@ class ShardResult:
     stop_rule: str = ""
 
 
-# Per-worker-process compiled state: token → (csr matrix, applicator).
+# Per-worker-process compiled state: token → (csr matrix, applicator),
+# least-recently-used first.  Bounded by _COMPILED_CAP with oldest-entry
+# eviction — a hot token is refreshed on every hit, so no burst of one-off
+# tokens can evict a live session's compiled state (the old clear()-on-65
+# behavior nuked the whole cache, steady-state entries included).
 _COMPILED: dict[str, tuple] = {}
+_COMPILED_CAP = 64
 
 
 def matrix_token(k) -> str:
@@ -173,16 +213,35 @@ def matrix_token(k) -> str:
     return token
 
 
+def shard_token(k, recipe: ApplicatorRecipe) -> str:
+    """The worker compile-cache key for one (operator, recipe) pair."""
+    return f"{matrix_token(k)}:{recipe.fingerprint()}"
+
+
 def compiled_shard_state(spec: ShardSpec):
     """The shard's (operator, applicator), rebuilt once per worker process."""
     state = _COMPILED.get(spec.token)
-    if state is None:
+    if state is not None:
+        _COMPILED[spec.token] = _COMPILED.pop(spec.token)  # refresh LRU
+        return state
+    if isinstance(spec.matrix, CSRPayload):
         k = spec.matrix.to_matrix()
-        state = (k, spec.recipe.build(k))
-        if len(_COMPILED) > 64:  # bound the per-worker cache
-            _COMPILED.clear()
-        _COMPILED[spec.token] = state
+    else:  # CSRHandle → zero-copy read-only views over the mapped segment
+        k = shm.attach_csr(spec.matrix)
+    state = (k, spec.recipe.build(k))
+    while len(_COMPILED) >= _COMPILED_CAP:  # evict oldest, never everything
+        _COMPILED.pop(next(iter(_COMPILED)))
+    _COMPILED[spec.token] = state
     return state
+
+
+def _column_range(block: np.ndarray, columns: np.ndarray) -> np.ndarray:
+    """``block[:, columns]`` as a zero-copy slice when columns are a range."""
+    columns = np.asarray(columns)
+    lo, hi = int(columns[0]), int(columns[-1]) + 1
+    if hi - lo == columns.size:  # contiguous (what column_groups produces)
+        return block[:, lo:hi]
+    return block[:, columns]
 
 
 def run_shard(spec: ShardSpec) -> ShardResult:
@@ -190,19 +249,31 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     from repro.core.pcg import block_pcg
 
     k, preconditioner = compiled_shard_state(spec)
+    columns = np.asarray(spec.columns)
+    F = spec.F
+    if isinstance(F, shm.ArrayView):
+        F = _column_range(shm.attach_view(F), columns)
+    u0 = spec.u0
+    if isinstance(u0, shm.ArrayView):
+        u0 = _column_range(shm.attach_view(u0), columns)
     result = block_pcg(
         k,
-        spec.F,
+        F,
         preconditioner=preconditioner,
-        u0=spec.u0,
+        u0=u0,
         stopping=spec.stopping,
         eps=spec.eps,
         maxiter=spec.maxiter,
         track_residual=spec.track_residual,
     )
+    u = result.u
+    if spec.out is not None:
+        # Iterates go back through the shared output block, not the pipe.
+        _column_range(shm.attach_view(spec.out, writable=True), columns)[...] = u
+        u = None
     return ShardResult(
-        columns=spec.columns,
-        u=result.u,
+        columns=columns,
+        u=u,
         iterations=result.iterations,
         converged=result.converged,
         delta_histories=result.delta_histories,
@@ -210,3 +281,14 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         counters=result.counters,
         stop_rule=result.stop_rule,
     )
+
+
+def warm_shard(spec: ShardSpec) -> str:
+    """Worker entry point for pool pre-warming: compile, solve nothing.
+
+    Dispatched by :meth:`repro.pipeline.SolverSession.prewarm_sharding`
+    so steady-state solves find the worker's operator attachment and
+    factorized applicator already cached under the spec's token.
+    """
+    compiled_shard_state(spec)
+    return spec.token

@@ -35,6 +35,7 @@ exactly one of each.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,15 +53,39 @@ from repro.machines import CYBER_203, CyberMachine, FiniteElementMachine
 from repro.multicolor.blocked import BlockedMatrix
 from repro.parallel import (
     ApplicatorRecipe,
+    ShardSpec,
     column_groups,
     sharded_block_pcg,
     sharded_schedule,
+    shard_token,
+    warm_shard,
 )
+from repro.parallel import shm
+from repro.parallel.executor import run_tasks
+from repro.parallel.shards import CSRPayload, matrix_token
 from repro.pipeline.plan import SolverPlan
 from repro.pipeline.problems import build_scenario
 from repro.util import require
 
 __all__ = ["BlockMStepSolve", "SessionStats", "SolverSession"]
+
+
+def _release_tokens(tokens: set) -> None:
+    """Free a session's shared-memory publications (GC finalizer target).
+
+    Module-level and handed only the token set so the
+    :func:`weakref.finalize` registration holds no reference back to the
+    session; :meth:`~repro.parallel.shm.SegmentRegistry.release` is
+    pid-guarded, so a forked worker inheriting the set can never unlink
+    the parent's segments.
+    """
+    try:
+        reg = shm.registry()
+        for token in tuple(tokens):
+            reg.release(token)
+    except Exception:  # pragma: no cover - interpreter-teardown ordering
+        pass
+    tokens.clear()
 
 
 def _normalize_sharding(sharding) -> tuple[int, int | None]:
@@ -181,6 +206,13 @@ class SolverSession:
         self._applicators: dict = {}
         self._machines: dict = {}
         self._compiled = False
+        # Shared-memory operator tokens this session published; released
+        # when the session is closed or garbage-collected (the registry's
+        # atexit hook is only the backstop).
+        self._shm_tokens: set[str] = set()
+        self._shm_finalizer = weakref.finalize(
+            self, _release_tokens, self._shm_tokens
+        )
 
     @classmethod
     def from_scenario(
@@ -294,6 +326,72 @@ class SolverSession:
             self.applicator(m, parametrized)
         self._compiled = True
         return self
+
+    def prewarm_sharding(
+        self,
+        sharding,
+        applicator: str | None = None,
+        backend: str | None = None,
+    ) -> int:
+        """Pay the sharded path's one-time costs now, not on the first solve.
+
+        Compiles the session, publishes the permuted operator's CSR
+        arrays to the shared-memory registry (one copy, reused by every
+        later dispatch against this session), starts the worker pool, and
+        dispatches :func:`~repro.parallel.warm_shard` specs so each
+        worker attaches the operator and factorizes every plan cell's
+        applicator *before* the first timed solve.  Returns the number of
+        warm dispatches issued; serial sharding (``None`` or one worker)
+        is a no-op.
+
+        Warm-started this way, a steady-state
+        :meth:`solve_cell_block` dispatch ships only column indices and a
+        recipe fingerprint — the zero-copy plan's whole point.
+        """
+        workers, _ = _normalize_sharding(sharding)
+        if workers <= 1:
+            return 0
+        self.compile()
+        k_mat = self.blocked.permuted
+        recipes = []
+        seen: set[str] = set()
+        for m, parametrized in self.plan.schedule:
+            recipe = self._shard_recipe(
+                m, parametrized, applicator=applicator, backend=backend
+            )
+            token = shard_token(k_mat, recipe)
+            if token not in seen:
+                seen.add(token)
+                recipes.append((token, recipe))
+        if not recipes:
+            return 0
+        if shm.shm_enabled():
+            reg = shm.registry()
+            mtoken = matrix_token(k_mat)
+            handle = reg.publish_operator(mtoken, k_mat)
+            self._shm_tokens.add(mtoken)
+        else:
+            handle = CSRPayload.from_matrix(k_mat)
+        empty = np.empty((0, 0))
+        specs = [
+            ShardSpec(
+                token=token, matrix=handle, recipe=recipe,
+                columns=np.arange(0), F=empty,
+            )
+            for token, recipe in recipes
+            for _ in range(workers)  # one warm task per pool slot
+        ]
+        run_tasks(warm_shard, specs, workers)
+        return len(specs)
+
+    def close(self) -> None:
+        """Release this session's shared-memory publications (idempotent).
+
+        Also runs automatically when the session is garbage-collected;
+        worker pools and any segments published outside a session are
+        torn down by :func:`repro.parallel.shutdown_pools` instead.
+        """
+        self._shm_finalizer()
 
     # ----------------------------------------------------------------- execution
     def solve_cell(
@@ -432,6 +530,10 @@ class SolverSession:
                 track_residual=track_residual,
             )
             self.stats.shard_dispatches += len(groups)
+            if shm.shm_enabled():
+                # The dispatch published segments under the operator's
+                # token; tie their lifetime to this session.
+                self._shm_tokens.add(matrix_token(blocked.permuted))
         else:
             preconditioner = (
                 self.applicator(
@@ -531,6 +633,7 @@ class SolverSession:
         maxiter: int | None = None,
         timing=None,
         workers: int = 1,
+        group: int | None = None,
     ):
         """The plan's full schedule on the CYBER simulator.
 
@@ -547,15 +650,17 @@ class SolverSession:
         its own machine from the pickled problem and runs its cell chunk
         through ``solve_schedule``, whose partition-invariant per-cell
         contract keeps every record bitwise identical to the
-        single-process pass.
+        single-process pass.  ``group`` bounds the cells per lockstep
+        pass — the ``(workers, group)`` 2-D shard grid of
+        :func:`repro.parallel.sharded_schedule`.
         """
         cells = self.schedule_cells()
         eps = eps if eps is not None else self.plan.eps
         if batched and self.plan.backend != "reference":
-            if workers > 1:
+            if workers > 1 or group is not None:
                 return sharded_schedule(
                     self.problem, cells, machine="cyber", workers=workers,
-                    eps=eps, maxiter=maxiter, timing=timing,
+                    group=group, eps=eps, maxiter=maxiter, timing=timing,
                 )
             return self.cyber(timing).solve_schedule(
                 cells, eps=eps, maxiter=maxiter
@@ -575,6 +680,7 @@ class SolverSession:
         eps: float | None = None,
         maxiter: int | None = None,
         workers: int = 1,
+        group: int | None = None,
         **kwargs,
     ):
         """The plan's full schedule on the Finite Element Machine.
@@ -600,18 +706,19 @@ class SolverSession:
         analogue of :meth:`run_cyber_schedule`'s sharded pass, every
         per-cell record (iterations, charged clocks, communication
         ledgers, iterates) bitwise identical to the single-process
-        schedule by the partition-invariance of ``solve_schedule``.
+        schedule by the partition-invariance of ``solve_schedule``;
+        ``group`` bounds the cells per lockstep pass (the 2-D grid).
         """
         cells = self.schedule_cells()
         eps = eps if eps is not None else self.plan.eps
         if (
-            workers > 1
+            (workers > 1 or group is not None)
             and batched
             and self.plan.backend != "reference"
         ):
             return sharded_schedule(
                 self.problem, cells, machine="fem", workers=workers,
-                eps=eps, maxiter=maxiter, n_procs=n_procs,
+                group=group, eps=eps, maxiter=maxiter, n_procs=n_procs,
                 backend=self.plan.backend,
                 timing=kwargs.get("timing"),
                 reduction=kwargs.get("reduction", "software"),

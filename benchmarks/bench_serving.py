@@ -1,0 +1,369 @@
+#!/usr/bin/env python
+"""Serving-layer load generator and perf gate (``BENCH_serving.json``).
+
+Drives a real in-process ``repro serve`` daemon (asyncio front end, TCP
+clients, the works) through three traffic regimes and records requests/sec
+and p50/p99 latency for each:
+
+* **cold** — the first request against a never-seen system key pays the
+  full compile (scenario build, coloring, factorized kernels): the cost
+  the daemon exists to amortize, measured per fresh key;
+* **hot serial** — one client, batching disabled, every request a cache
+  hit: the per-request floor of the unbatched serving path;
+* **batched** — ``CONCURRENCY`` concurrent clients against the
+  micro-batcher: same-system requests coalesce into ``(n, k)``
+  block-PCG locksteps, so throughput rises while per-column numerics
+  stay bitwise identical (the daemon asserts it; this benchmark
+  cross-checks iteration counts between regimes).
+
+Usage::
+
+    python benchmarks/bench_serving.py                # write BENCH_serving.json
+    python benchmarks/bench_serving.py --check BENCH_serving.json
+
+``--check BASELINE.json`` is the regression gate CI runs: re-measure with
+the baseline's configuration, fail if the batched-over-hot throughput
+ratio falls below ``--check-tolerance`` times its baseline value, if the
+absolute ≥{TARGET}× target is missed, or if iteration counts drift (a
+silent numerics change).  The ratio is measured in one process on one
+host, so it transfers across machines the way the kernel-bench speedups
+do; it needs no extra cores — batching wins by vectorized width, not by
+parallelism.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+import scipy  # noqa: E402
+
+from repro.serving import ServeClient, start_server_thread  # noqa: E402
+
+#: Batched throughput must beat hot-serial throughput by at least this
+#: factor at CONCURRENCY concurrent clients (the ISSUE 7 gate).
+TARGET_BATCHED_VS_HOT = 2.0
+
+SCENARIO = "plate"
+ROWS = 20
+M = 3
+EPS = 1e-6
+CONCURRENCY = 8  # concurrent clients in the batched regime
+MAX_BATCH = 8
+BATCH_WINDOW = 0.004
+LOAD_CASES = 8  # request mix cycles through deterministic load cases
+HOT_REQUESTS = 64  # sequential requests per hot-serial round
+BATCHED_REQUESTS = 128  # total requests per batched round
+COLD_ROWS = (16, 18, 20)  # distinct system keys for the cold regime
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def _latency_stats(samples: list[float]) -> dict:
+    return {
+        "p50_s": _percentile(samples, 50),
+        "p99_s": _percentile(samples, 99),
+        "mean_s": float(np.mean(samples)),
+        "n": len(samples),
+    }
+
+
+def bench_cold() -> dict:
+    """First-request latency per fresh system key (the full compile cost)."""
+    handle = start_server_thread(batch_window=0.0, max_batch=1, capacity=8)
+    per_key = {}
+    try:
+        with ServeClient(port=handle.port) as client:
+            for rows in COLD_ROWS:
+                t0 = time.perf_counter()
+                reply = client.solve(
+                    scenario=SCENARIO, rows=rows, m=M, eps=EPS, load_case=0
+                )
+                latency = time.perf_counter() - t0
+                assert reply.converged and not reply.cache_hit
+                per_key[f"rows={rows}"] = latency
+            # The same key again, now hot — the amortization headline.
+            t0 = time.perf_counter()
+            reply = client.solve(
+                scenario=SCENARIO, rows=COLD_ROWS[-1], m=M, eps=EPS,
+                load_case=0,
+            )
+            hot_after = time.perf_counter() - t0
+            assert reply.cache_hit
+    finally:
+        handle.stop()
+    cold_mean = float(np.mean(list(per_key.values())))
+    return {
+        "per_key_s": per_key,
+        "mean_s": cold_mean,
+        "hot_after_s": hot_after,
+        "cold_over_hot": cold_mean / hot_after,
+    }
+
+
+def _run_hot_round() -> tuple[float, list[float], dict[str, int]]:
+    handle = start_server_thread(batch_window=0.0, max_batch=1, capacity=8)
+    latencies: list[float] = []
+    iterations: dict[str, int] = {}
+    try:
+        with ServeClient(port=handle.port) as client:
+            client.solve(scenario=SCENARIO, rows=ROWS, m=M, eps=EPS)  # warm
+            t0 = time.perf_counter()
+            for i in range(HOT_REQUESTS):
+                case = i % LOAD_CASES
+                t1 = time.perf_counter()
+                reply = client.solve(
+                    scenario=SCENARIO, rows=ROWS, m=M, eps=EPS,
+                    load_case=case,
+                )
+                latencies.append(time.perf_counter() - t1)
+                assert reply.converged and reply.cache_hit
+                assert reply.batch_width == 1
+                iterations[str(case)] = reply.iterations
+            total = time.perf_counter() - t0
+    finally:
+        handle.stop()
+    return HOT_REQUESTS / total, latencies, iterations
+
+
+def _run_batched_round() -> tuple[float, list[float], dict[str, int], dict]:
+    handle = start_server_thread(
+        batch_window=BATCH_WINDOW, max_batch=MAX_BATCH, capacity=8
+    )
+    per_client = BATCHED_REQUESTS // CONCURRENCY
+    barrier = threading.Barrier(CONCURRENCY)
+    iterations: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def worker(wid: int) -> list[float]:
+        samples = []
+        with ServeClient(port=handle.port) as client:
+            barrier.wait(timeout=60)
+            for i in range(per_client):
+                case = (wid + i * CONCURRENCY) % LOAD_CASES
+                t1 = time.perf_counter()
+                reply = client.solve(
+                    scenario=SCENARIO, rows=ROWS, m=M, eps=EPS,
+                    load_case=case,
+                )
+                samples.append(time.perf_counter() - t1)
+                assert reply.converged
+                with lock:
+                    iterations[str(case)] = reply.iterations
+        return samples
+
+    try:
+        with ServeClient(port=handle.port) as client:
+            client.solve(scenario=SCENARIO, rows=ROWS, m=M, eps=EPS)  # warm
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CONCURRENCY) as pool:
+            all_samples = list(pool.map(worker, range(CONCURRENCY)))
+        total = time.perf_counter() - t0
+        with ServeClient(port=handle.port) as client:
+            counters = client.stats()["stats"]
+    finally:
+        handle.stop()
+    latencies = [s for samples in all_samples for s in samples]
+    widths = {w: c for w, c in counters["batch_width_hist"].items()}
+    return BATCHED_REQUESTS / total, latencies, iterations, widths
+
+
+def _best_of(rounds: int, run) -> tuple:
+    """The round with the highest throughput (first tuple element)."""
+    best = None
+    for _ in range(rounds):
+        result = run()
+        if best is None or result[0] > best[0]:
+            best = result
+    return best
+
+
+def build_report(repeats: int = 3) -> dict:
+    results: dict = {"cold": bench_cold()}
+
+    hot_rps, hot_lat, hot_iters = _best_of(repeats, _run_hot_round)
+    results["hot_serial"] = {
+        "rps": hot_rps,
+        **_latency_stats(hot_lat),
+        "iterations": hot_iters,
+        "requests": HOT_REQUESTS,
+    }
+
+    batched_rps, batched_lat, batched_iters, widths = _best_of(
+        repeats, _run_batched_round
+    )
+    results["batched"] = {
+        "rps": batched_rps,
+        **_latency_stats(batched_lat),
+        "iterations": batched_iters,
+        "requests": BATCHED_REQUESTS,
+        "concurrency": CONCURRENCY,
+        "batch_width_hist": widths,
+    }
+
+    if batched_iters != hot_iters:
+        raise AssertionError(
+            "batched and hot-serial solves disagree on iteration counts — "
+            "the block path's bitwise contract is broken"
+        )
+
+    speedup = batched_rps / hot_rps
+    return {
+        "bench": "serving",
+        "created_unix": time.time(),
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+        },
+        "host": {"cpu_count": os.cpu_count() or 1},
+        "config": {
+            "scenario": SCENARIO,
+            "rows": ROWS,
+            "m": M,
+            "eps": EPS,
+            "repeats": repeats,
+            "concurrency": CONCURRENCY,
+            "max_batch": MAX_BATCH,
+            "batch_window_s": BATCH_WINDOW,
+            "hot_requests": HOT_REQUESTS,
+            "batched_requests": BATCHED_REQUESTS,
+            "load_cases": LOAD_CASES,
+            "cold_rows": list(COLD_ROWS),
+        },
+        "results": results,
+        "targets": {
+            "batched_vs_hot_min": TARGET_BATCHED_VS_HOT,
+            "batched_vs_hot": speedup,
+            "met": bool(speedup >= TARGET_BATCHED_VS_HOT),
+        },
+    }
+
+
+def render(report: dict) -> str:
+    r = report["results"]
+    t = report["targets"]
+    lines = [
+        "serving perf report (in-process daemon, real TCP clients)",
+        "",
+        f"  cold     first-request latency {r['cold']['mean_s'] * 1e3:8.1f} ms"
+        f"  ({r['cold']['cold_over_hot']:.0f}x the hot request that follows)",
+        f"  hot      {r['hot_serial']['rps']:8.1f} req/s   "
+        f"p50 {r['hot_serial']['p50_s'] * 1e3:6.2f} ms   "
+        f"p99 {r['hot_serial']['p99_s'] * 1e3:6.2f} ms   (serial, unbatched)",
+        f"  batched  {r['batched']['rps']:8.1f} req/s   "
+        f"p50 {r['batched']['p50_s'] * 1e3:6.2f} ms   "
+        f"p99 {r['batched']['p99_s'] * 1e3:6.2f} ms   "
+        f"(concurrency {r['batched']['concurrency']}, "
+        f"widths {r['batched']['batch_width_hist']})",
+        "",
+        f"  target: batched ≥{t['batched_vs_hot_min']:g}× hot-serial "
+        f"throughput (measured {t['batched_vs_hot']:.2f}×) — "
+        + ("MET" if t["met"] else "NOT MET"),
+    ]
+    return "\n".join(lines)
+
+
+def check_against_baseline(
+    baseline: dict, report: dict, tolerance: float
+) -> list[str]:
+    failures: list[str] = []
+    base = baseline["targets"]["batched_vs_hot"]
+    fresh = report["targets"]["batched_vs_hot"]
+    floor = tolerance * base
+    if fresh < floor:
+        failures.append(
+            f"batched_vs_hot {fresh:.2f}× < {floor:.2f}× "
+            f"(= {tolerance:g} × baseline {base:.2f}×)"
+        )
+    if not report["targets"]["met"]:
+        failures.append(
+            f"absolute target missed: batched_vs_hot {fresh:.2f}× "
+            f"(need ≥{report['targets']['batched_vs_hot_min']:g}×)"
+        )
+    for regime in ("hot_serial", "batched"):
+        base_iters = baseline["results"].get(regime, {}).get("iterations")
+        if base_iters is not None and (
+            report["results"][regime]["iterations"] != base_iters
+        ):
+            failures.append(
+                f"{regime}: iteration counts drifted from the baseline — "
+                "numerics changed, not just speed"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="rounds per regime; the best round counts")
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="regression-gate mode: re-measure with BASELINE's repeats and "
+        "fail on regression, missed target, or iteration drift",
+    )
+    parser.add_argument(
+        "--check-tolerance", type=float, default=0.5,
+        help="the fresh batched-over-hot ratio may not fall below this "
+        "fraction of its baseline value (default 0.5)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default BENCH_serving.json at the repo "
+        "root, or BENCH_serving.fresh.json in --check mode)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check is not None:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            parser.error(f"--check baseline {baseline_path} does not exist")
+        baseline = json.loads(baseline_path.read_text())
+        if args.repeats is None:
+            args.repeats = baseline.get("config", {}).get("repeats", 3)
+    if args.repeats is None:
+        args.repeats = 3
+    if args.out is None:
+        name = "BENCH_serving.fresh.json" if args.check else "BENCH_serving.json"
+        args.out = str(REPO_ROOT / name)
+
+    report = build_report(repeats=args.repeats)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(render(report))
+    print(f"\n[written to {out_path}]")
+
+    if baseline is not None:
+        failures = check_against_baseline(baseline, report, args.check_tolerance)
+        print()
+        if failures:
+            print("SERVING GATE: FAIL")
+            for line in failures:
+                print(f"  - {line}")
+            return 1
+        print(
+            "SERVING GATE: PASS — batched-over-hot ratio within "
+            f"{args.check_tolerance:g}× of baseline, iteration counts "
+            "unchanged, absolute target met"
+        )
+        return 0
+    return 0 if report["targets"]["met"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

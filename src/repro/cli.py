@@ -18,6 +18,9 @@ python -m repro cyber --rows 20 --m 5 -P    # one simulated CYBER solve
 python -m repro recommend --rows 20 --b-over-a 0.7
 python -m repro scenarios                   # the ProblemSpec registry
 python -m repro workloads                   # the WorkloadSpec registry
+python -m repro serve --port 7083           # long-lived batching solver daemon
+python -m repro request --rows 20 --m 4     # one solve against the daemon
+python -m repro request --stats             # daemon counters (hits, batches)
 ```
 
 ``solve``/``cyber``/``table2`` accept ``--backend vectorized|reference``
@@ -41,11 +44,17 @@ column groups across worker processes
 (:func:`repro.parallel.sharded_block_pcg`), and ``table2 --workers W``
 fans the schedule's cells likewise (:func:`repro.parallel.sharded_schedule`)
 — results bitwise identical to the serial paths in both cases.
+
+Serving: ``serve`` runs the long-lived daemon of :mod:`repro.serving` —
+compiled sessions held hot in an LRU, concurrent same-system requests
+coalesced into one block-PCG lockstep — and ``request`` is its one-shot
+client (``--ping``/``--stats``/``--shutdown`` for the control ops).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -81,22 +90,10 @@ def _build_session(args, schedule=None):
 
 
 def _calibrated_model(session, which: str = "fem"):
-    """(A, B, B_marginal) calibrated from a simulated machine layout.
-
-    ``which`` names the machine the (4.1) quantities are charged on:
-    ``"fem"`` (the Finite Element Machine, the default) or ``"cyber"``
-    (the CYBER vector timing model).  Returns ``None`` when the scenario
-    has no plate mesh to lay a machine out on.
-    """
-    from repro.analysis import PerformanceModel
-    from repro.fem.model_problems import PlateProblem
-
-    problem = session.problem
-    if not isinstance(problem, PlateProblem) or getattr(problem, "mesh", None) is None:
-        return None
-    if which == "cyber":
-        return PerformanceModel.from_cyber_machine(session.cyber())
-    return PerformanceModel.from_fem_machine(session.fem(1))
+    """(A, B, B_marginal) calibrated from a simulated machine layout —
+    :meth:`repro.pipeline.SolverSession.calibrated_model`, shared with the
+    serving daemon's ``m = "auto"`` resolution."""
+    return session.calibrated_model(which)
 
 
 def _rhs_block(problem, width: int):
@@ -416,6 +413,65 @@ def _cmd_workloads(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import run_daemon
+
+    return run_daemon(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        capacity=args.capacity,
+    )
+
+
+def _cmd_request(args) -> int:
+    import json
+
+    from repro.serving import ServeClient
+    from repro.serving.protocol import ProtocolError
+
+    try:
+        with ServeClient(args.host, args.port) as client:
+            if args.ping:
+                print(json.dumps(client.ping(), indent=2))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2))
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print(f"daemon at {args.host}:{args.port} shutting down")
+                return 0
+            reply = client.solve(
+                scenario=args.scenario,
+                rows=args.rows,
+                m=args.m,
+                parametrized=args.parametrized,
+                eps=args.eps,
+                omega=args.omega,
+                backend=args.backend,
+                load_case=args.load_case,
+            )
+    except ConnectionRefusedError:
+        print(f"no daemon listening on {args.host}:{args.port} "
+              "(start one with `repro serve`)", file=sys.stderr)
+        return 2
+    except ProtocolError as exc:
+        print(f"daemon rejected the request: {exc}", file=sys.stderr)
+        return 2
+    served = "hot (cached session)" if reply.cache_hit else "cold (compiled now)"
+    print(f"scenario: {args.scenario} (rows = {args.rows}), "
+          f"load case {args.load_case}")
+    print(f"method  : m = {reply.m_label}, served {served}")
+    print(f"iterations: {reply.iterations}  converged: {reply.converged}")
+    print(f"batched : width {reply.batch_width} "
+          f"(queued {reply.queue_s * 1e3:.2f} ms, "
+          f"solved in {reply.solve_s * 1e3:.2f} ms)")
+    print(f"‖u‖∞    : {float(np.max(np.abs(reply.u))):.6e}")
+    return 0 if reply.converged else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.driver import TABLE2_EPS
     from repro.kernels import BACKENDS
@@ -556,6 +612,63 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("scenarios", help="list the ProblemSpec registry")
     sub.add_parser("workloads", help="list the WorkloadSpec registry")
 
+    p_serve = sub.add_parser(
+        "serve", help="long-lived batching solver daemon (repro.serving)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7083,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="seconds concurrent same-system requests wait to coalesce "
+        "into one block-PCG lockstep (0 disables batching)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="flush a batch as soon as this many columns are waiting "
+        "(also the width m='auto' is priced at)",
+    )
+    p_serve.add_argument(
+        "--capacity", type=int, default=8,
+        help="compiled sessions held hot in the LRU cache",
+    )
+
+    p_req = sub.add_parser(
+        "request", help="one solve (or control op) against a running daemon"
+    )
+    p_req.add_argument("--host", default="127.0.0.1")
+    p_req.add_argument("--port", type=int, default=7083)
+    p_req.add_argument(
+        "--scenario", choices=scenario_names, default="plate",
+        help="registered scenario the daemon should compile/reuse",
+    )
+    p_req.add_argument("--rows", type=int, default=20, help="rows of nodes (a)")
+    p_req.add_argument(
+        "--m", type=parse_m, default=3,
+        help="preconditioner steps, or 'auto' (daemon resolves it from "
+        "the width-aware (4.2) model, once per cached system)",
+    )
+    p_req.add_argument(
+        "-P", "--parametrized", action="store_true",
+        help="least-squares parametrized coefficients",
+    )
+    p_req.add_argument("--eps", type=float, default=1e-6, help="‖Δu‖∞ tolerance")
+    p_req.add_argument("--omega", type=float, default=1.0,
+                       help="SSOR relaxation parameter")
+    p_req.add_argument(
+        "--load-case", type=int, default=0,
+        help="deterministic load-case index (0 = the scenario's own load)",
+    )
+    add_backend_arg(p_req)
+    p_req.add_argument("--ping", action="store_true",
+                       help="health-check the daemon and exit")
+    p_req.add_argument("--stats", action="store_true",
+                       help="print the daemon's counters and exit")
+    p_req.add_argument("--shutdown", action="store_true",
+                       help="ask the daemon to shut down gracefully")
+
     args = parser.parse_args(argv)
     handlers = {
         "table1": _cmd_table1,
@@ -567,6 +680,8 @@ def main(argv: list[str] | None = None) -> int:
         "recommend": _cmd_recommend,
         "scenarios": _cmd_scenarios,
         "workloads": _cmd_workloads,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
     }
     if not hasattr(args, "parametrized"):
         args.parametrized = False
@@ -580,7 +695,14 @@ def main(argv: list[str] | None = None) -> int:
         args.workload = None
     if not hasattr(args, "auto_model"):
         args.auto_model = "fem"
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `repro request --stats | head`)
+        # closed the pipe early; exit quietly like other unix CLIs.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -384,6 +384,31 @@ class SolverSession:
         run_tasks(warm_shard, specs, workers)
         return len(specs)
 
+    def calibrated_model(self, which: str = "fem"):
+        """A :class:`~repro.analysis.models.PerformanceModel` calibrated on
+        this problem's simulated machine layout.
+
+        ``which`` names the machine the (4.1) quantities are charged on:
+        ``"fem"`` (the Finite Element Machine, the default) or ``"cyber"``
+        (the CYBER vector timing model).  Returns ``None`` when the
+        problem has no plate mesh to lay a machine out on — callers fall
+        back to a default B/A ratio.  The machine itself comes from the
+        session's cache, so repeated calibrations build nothing.  Shared
+        by the CLI's ``--m auto`` and the serving daemon's ``m = "auto"``
+        resolution.
+        """
+        from repro.analysis import PerformanceModel
+        from repro.fem.model_problems import PlateProblem
+
+        problem = self.problem
+        if not isinstance(problem, PlateProblem) or getattr(
+            problem, "mesh", None
+        ) is None:
+            return None
+        if which == "cyber":
+            return PerformanceModel.from_cyber_machine(self.cyber())
+        return PerformanceModel.from_fem_machine(self.fem(1))
+
     def close(self) -> None:
         """Release this session's shared-memory publications (idempotent).
 

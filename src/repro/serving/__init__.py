@@ -1,0 +1,52 @@
+"""Structural analysis as a service: the ``repro serve`` daemon layer.
+
+The serving layer turns the repo from a toolkit into a service: a
+long-lived daemon holds compiled
+:class:`~repro.pipeline.session.SolverSession` state hot in a
+capacity-bounded LRU and coalesces concurrent requests for the same
+compiled system into one :func:`~repro.core.pcg.block_pcg` lockstep —
+dynamic batching in the inference-server sense, numerically invisible by
+block-PCG's per-column bitwise contract.
+
+* :mod:`repro.serving.daemon` — :class:`ReproServer` (asyncio JSON-over-
+  TCP front end), :class:`SessionCache`, :class:`MicroBatcher`,
+  :func:`start_server_thread` for in-process daemons;
+* :mod:`repro.serving.client` — :class:`ServeClient`, the blocking-socket
+  Python API behind ``repro request``;
+* :mod:`repro.serving.protocol` — the wire format and request validation;
+* :mod:`repro.serving.smoke` — the end-to-end smoke check CI runs against
+  a real daemon subprocess.
+"""
+
+from repro.serving.client import ServeClient, SolveReply
+from repro.serving.daemon import (
+    MicroBatcher,
+    ReproServer,
+    ServerHandle,
+    ServerStats,
+    SessionCache,
+    SessionEntry,
+    run_daemon,
+    start_server_thread,
+)
+from repro.serving.protocol import (
+    ProtocolError,
+    SolveRequest,
+    parse_solve_request,
+)
+
+__all__ = [
+    "ServeClient",
+    "SolveReply",
+    "MicroBatcher",
+    "ReproServer",
+    "ServerHandle",
+    "ServerStats",
+    "SessionCache",
+    "SessionEntry",
+    "run_daemon",
+    "start_server_thread",
+    "ProtocolError",
+    "SolveRequest",
+    "parse_solve_request",
+]

@@ -1,0 +1,162 @@
+"""End-to-end serving smoke check: a real daemon, concurrent clients,
+bitwise answers, leak-free shutdown.
+
+``python -m repro.serving.smoke`` (CI's ``serving-smoke`` job):
+
+1. starts ``python -W error -m repro serve --port 0`` as a subprocess
+   (``-W error`` turns the stdlib resource tracker's "leaked
+   shared_memory objects" shutdown report — and any other warning —
+   into a hard failure, the pattern of ``tests/test_parallel_shm.py``);
+2. fires waves of concurrent solve requests from parallel client
+   connections (barrier-released, so they land inside the batch window
+   and exercise the micro-batcher for real);
+3. asserts every response is **bitwise** equal to a local serial
+   :meth:`~repro.pipeline.session.SolverSession.solve_cell` of the same
+   load case — the serving layer's core contract: batching is invisible;
+4. asserts the daemon's stats show real coalescing (some batch wider
+   than one column) and cache reuse (hits after the first wave);
+5. sends ``shutdown`` and asserts the daemon exits 0 with zero live
+   shared-memory segments and a warning-clean stderr.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+SCENARIO = "plate"
+ROWS = 10
+M = 3
+EPS = 1e-6
+WAVES = 3
+WAVE_WIDTH = 8  # concurrent clients per wave (= the daemon's max batch)
+LOAD_CASES = 5  # request mix cycles through load cases 0..LOAD_CASES-1
+
+
+def _reference_solutions() -> dict[int, np.ndarray]:
+    """Serial single-RHS solves of every load case, computed locally."""
+    from repro.pipeline import (
+        SolverPlan,
+        SolverSession,
+        build_scenario,
+        synthetic_load_block,
+    )
+
+    problem = build_scenario(SCENARIO, nrows=ROWS)
+    session = SolverSession(problem, plan=SolverPlan.single(M, eps=EPS))
+    out = {}
+    for j in range(LOAD_CASES):
+        f = np.ascontiguousarray(synthetic_load_block(problem, j + 1)[:, j])
+        out[j] = session.solve_cell(M, f=f).u
+    return out
+
+
+def _start_daemon() -> tuple[subprocess.Popen, int]:
+    src = str(pathlib.Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-W", "error", "-m", "repro", "serve",
+            "--port", "0", "--batch-window", "0.05", "--max-batch",
+            str(WAVE_WIDTH), "--capacity", "4",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on [\w.]+:(\d+)", banner)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"daemon did not announce a port: {banner!r}")
+    return proc, int(match.group(1))
+
+
+def main() -> int:
+    from repro.serving import ServeClient
+
+    print(f"serving smoke: {WAVES} waves x {WAVE_WIDTH} concurrent requests "
+          f"({SCENARIO}, rows={ROWS}, m={M})")
+    reference = _reference_solutions()
+    proc, port = _start_daemon()
+    try:
+        replies = []
+        barrier = threading.Barrier(WAVE_WIDTH)
+
+        def fire(case: int):
+            # One connection per concurrent client; the barrier releases
+            # a whole wave inside the daemon's batch window.
+            with ServeClient("127.0.0.1", port) as client:
+                barrier.wait(timeout=30)
+                return case, client.solve(
+                    scenario=SCENARIO, rows=ROWS, m=M, eps=EPS,
+                    load_case=case,
+                )
+
+        with ThreadPoolExecutor(max_workers=WAVE_WIDTH) as pool:
+            for wave in range(WAVES):
+                cases = [
+                    (wave * WAVE_WIDTH + i) % LOAD_CASES
+                    for i in range(WAVE_WIDTH)
+                ]
+                replies.extend(pool.map(fire, cases))
+
+        for case, reply in replies:
+            assert reply.converged, f"load case {case} did not converge"
+            assert np.array_equal(reply.u, reference[case]), (
+                f"load case {case}: daemon solution differs from the "
+                "serial SolverSession solve (bitwise contract broken)"
+            )
+
+        with ServeClient("127.0.0.1", port) as client:
+            stats = client.stats()
+            counters = stats["stats"]
+            widths = {
+                int(w): c for w, c in counters["batch_width_hist"].items()
+            }
+            total = WAVES * WAVE_WIDTH
+            assert counters["solves"] == total, counters
+            assert max(widths) > 1, (
+                f"no request was ever batched: width histogram {widths}"
+            )
+            # One compiled-session miss for the first batch, hits after
+            # (the cache is consulted once per batch, not per column).
+            assert counters["misses"] == 1, counters
+            assert counters["hits"] == counters["batches"] - 1, counters
+            assert stats["live_shm_segments"] == 0, stats
+            print(f"  {total} solves in {counters['batches']} batches, "
+                  f"width histogram {widths}, cache hits "
+                  f"{counters['hits']}/{counters['hits'] + counters['misses']}")
+            client.shutdown()
+
+        proc.wait(timeout=60)
+        stdout, stderr = proc.stdout.read(), proc.stderr.read()
+        assert proc.returncode == 0, (
+            f"daemon exited {proc.returncode}\nstdout: {stdout}\n"
+            f"stderr: {stderr}"
+        )
+        assert "0 live shm segments" in stdout, stdout
+        for marker in ("resource_tracker", "leaked", "Warning"):
+            assert marker not in stderr, (
+                f"daemon stderr not clean ({marker}):\n{stderr}"
+            )
+        print("  shutdown clean: exit 0, zero live shm segments, "
+              "warning-free stderr")
+        print("serving smoke: OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

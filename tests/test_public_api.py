@@ -13,6 +13,9 @@ PACKAGES = [
     "repro.machines",
     "repro.analysis",
     "repro.util",
+    "repro.pipeline",
+    "repro.parallel",
+    "repro.serving",
 ]
 
 

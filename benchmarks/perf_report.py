@@ -40,6 +40,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -82,6 +83,18 @@ TARGET_FEM_SCHEDULE_SPEEDUP = 1.3
 #: measurement itself is recorded (and iteration-drift-checked) everywhere.
 TARGET_SHARDED_BLOCK_PCG_SPEEDUP = 1.5
 SHARDED_MIN_CORES = 4
+#: The fused matrix-free stencil product must beat the assembled CSR
+#: matvec outright at the largest common size (ISSUE 8: ≥2× at g = 256,
+#: where both representations still fit comfortably).
+TARGET_STENCIL_MATVEC_SPEEDUP = 2.0
+#: The matrix-free solve must hold at least this peak-allocation
+#: advantage over the assembled pipeline, end to end (build + compile +
+#: solve) at the same size — the whole point of never forming CSR.
+#: Measured ~1.9× at g = 256 (tracemalloc peaks are deterministic);
+#: 1.5 leaves headroom for allocator-layout jitter across platforms.
+TARGET_STENCIL_SOLVE_MEMORY_RATIO = 1.5
+STENCIL_GRID = 256  # Poisson n_grid for the stencil rows (n = 65,536 = 20× a=41)
+STENCIL_M = 2  # preconditioner steps for the stencil sweep/solve rows
 
 M_APPLY = 4  # the m used for preconditioner-application timings
 M_PCG = 3  # the m used for full-solve timings
@@ -113,6 +126,23 @@ def _time_call(fn, repeats: int, min_seconds: float = 0.02) -> float:
     return best
 
 
+def _peak_mb(fn) -> float:
+    """Peak incremental allocation (MiB) of one ``fn()``, via tracemalloc.
+
+    Only allocations made *during* the call count — pre-existing state
+    (compiled sessions, cached factors) is the caller's to include or
+    exclude by choosing what ``fn`` rebuilds.  Recorded per benchmark row
+    so the report tracks memory next to time.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
+
+
 def bench_apply_p_inv(blocked, repeats: int) -> dict:
     """SSOR ``P⁻¹r`` per backend: color-block sweeps vs spsolve_triangular."""
     r = np.random.default_rng(0).normal(size=blocked.n)
@@ -121,6 +151,8 @@ def bench_apply_p_inv(blocked, repeats: int) -> dict:
         splitting = SSORSplitting(blocked.permuted, backend=backend)
         out[f"{backend}_s"] = _time_call(lambda: splitting.apply_p_inv(r), repeats)
     out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    fast = SSORSplitting(blocked.permuted, backend=VECTORIZED)
+    out["peak_mb"] = _peak_mb(lambda: fast.apply_p_inv(r))
     return out
 
 
@@ -137,6 +169,7 @@ def bench_mstep_apply(blocked, repeats: int) -> dict:
     sweep = MStepSSOR(blocked, coeffs)
     out["sweep_s"] = _time_call(lambda: sweep.apply(r), repeats)
     out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    out["peak_mb"] = _peak_mb(lambda: sweep.apply(r))
     return out
 
 
@@ -160,6 +193,7 @@ def bench_pcg(problem, blocked, repeats: int, eps: float) -> dict:
 
     out["sweep_s"] = _time_call(run_sweep, repeats)
     out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    out["peak_mb"] = _peak_mb(run_sweep)
     return out
 
 
@@ -188,6 +222,7 @@ def bench_table2_sweep(problem, blocked, repeats: int, eps: float) -> dict:
             lambda backend=backend: run_schedule(backend), repeats
         )
     out["speedup"] = out[f"{REFERENCE}_s"] / out[f"{VECTORIZED}_s"]
+    out["peak_mb"] = _peak_mb(lambda: run_schedule(VECTORIZED))
     out["iterations"] = iterations
     out["cells"] = len(TABLE2_SCHEDULE)
     return out
@@ -225,6 +260,7 @@ def bench_cyber_schedule(problem, repeats: int, eps: float) -> dict:
             "batched and per-column CYBER sweeps disagree on iterations"
         )
     out["speedup"] = out["percolumn_s"] / out["batched_s"]
+    out["peak_mb"] = _peak_mb(lambda: run_schedule(True, "batched"))
     out["iterations"] = iterations
     out["cells"] = len(TABLE2_SCHEDULE)
     return out
@@ -275,6 +311,7 @@ def bench_block_pcg(problem, blocked, repeats: int, eps: float) -> dict:
             "block and per-column PCG disagree on iteration counts"
         )
     out["speedup"] = out["percolumn_s"] / out["block_s"]
+    out["peak_mb"] = _peak_mb(run_block)
     out["iterations"] = iterations
     out["width"] = BLOCK_WIDTH
     return out
@@ -353,6 +390,7 @@ def bench_sharded_block_pcg(
             "sharded and serial block-PCG disagree on iteration counts"
         )
     out["speedup"] = out["serial_s"] / out["sharded_s"]
+    out["peak_mb"] = _peak_mb(run_sharded)  # parent-process allocations only
     out["mode"] = "steady" if steady else "cold"
     # Bytes each dispatch actually pickles onto the worker pipe, per
     # transport (the zero-copy plan ships handles; the fallback ships the
@@ -415,8 +453,113 @@ def bench_fem_schedule(problem, blocked, repeats: int, eps: float) -> dict:
             "batched and per-cell FEM schedules disagree on iterations"
         )
     out["speedup"] = out["percell_s"] / out["batched_s"]
+    out["peak_mb"] = _peak_mb(run_batched)
     out["iterations"] = iterations
     out["cells"] = len(TABLE3_SCHEDULE)
+    return out
+
+
+def bench_stencil_apply(repeats: int) -> dict:
+    """Fused matrix-free ``K·x`` vs the assembled CSR matvec.
+
+    Both products are bitwise identical (the benchmark asserts it before
+    timing); the recorded ``speedup`` is pure kernel speed, gated
+    absolutely at ``TARGET_STENCIL_MATVEC_SPEEDUP``.  The row also
+    records each representation's operator footprint.
+    """
+    from repro.fem.matrixfree import stencil_operator
+    from repro.pipeline import build_scenario
+
+    problem = build_scenario("poisson", n_grid=STENCIL_GRID)
+    op = stencil_operator(problem)
+    k = problem.k
+    x = np.random.default_rng(8).normal(size=op.n)
+    buf = np.empty(op.n)
+    op.matvec_into(x, buf)
+    if not np.array_equal(k @ x, buf):
+        raise AssertionError("stencil K·x is not bitwise equal to the CSR matvec")
+    out = {
+        "csr_s": _time_call(lambda: k @ x, repeats),
+        "stencil_s": _time_call(lambda: op.matvec_into(x, buf), repeats),
+    }
+    out["speedup"] = out["csr_s"] / out["stencil_s"]
+    out["n"] = op.n
+    out["csr_mb"] = (k.data.nbytes + k.indices.nbytes + k.indptr.nbytes) / 2**20
+    out["stencil_mb"] = op.memory_bytes() / 2**20
+    out["peak_mb"] = _peak_mb(lambda: op.matvec_into(x, buf))
+    return out
+
+
+def bench_stencil_sweep(repeats: int) -> dict:
+    """Multicolor m-step SSOR: stencil color sweeps vs the merged CSR sweep.
+
+    Regression-gated only (no absolute floor): the gather-based stencil
+    sweep trades per-application speed for never forming the permuted
+    CSR color blocks — the solve row below carries the memory headline.
+    """
+    from repro.driver import mstep_coefficients
+    from repro.fem.matrixfree import stencil_operator
+    from repro.kernels.stencil import StencilSSOR
+    from repro.pipeline import build_scenario
+
+    problem = build_scenario("poisson", n_grid=STENCIL_GRID)
+    blocked = build_blocked_system(problem)
+    coeffs = mstep_coefficients(STENCIL_M, False, ssor_interval(blocked))
+    csr_sweep = MStepSSOR(blocked, coeffs)
+    st_sweep = StencilSSOR(stencil_operator(problem), coeffs)
+    r = np.random.default_rng(9).normal(size=blocked.n)
+    out = {
+        "csr_s": _time_call(lambda: csr_sweep.apply(r), repeats),
+        "stencil_s": _time_call(lambda: st_sweep.apply(r), repeats),
+    }
+    out["speedup"] = out["csr_s"] / out["stencil_s"]
+    out["m"] = STENCIL_M
+    out["peak_mb"] = _peak_mb(lambda: st_sweep.apply(r))
+    return out
+
+
+def bench_stencil_solve(repeats: int, eps: float) -> dict:
+    """End-to-end solve, assembled pipeline vs matrix-free stencil.
+
+    Each call rebuilds the problem, compiles a fresh session and solves
+    one cell — exactly what a cold request pays.  The recorded
+    ``speedup`` is the **peak-allocation ratio** (assembled / stencil),
+    gated absolutely at ``TARGET_STENCIL_SOLVE_MEMORY_RATIO``: the
+    matrix-free path must make the memory the assembled path spends on
+    CSR + multicolor factors simply not exist.  Wall time is recorded
+    alongside (``solve_speedup``, informational).
+    """
+    from repro.pipeline import SolverPlan, SolverSession, build_scenario
+
+    iterations: dict[str, int] = {}
+
+    def run_csr() -> None:
+        problem = build_scenario("poisson", n_grid=STENCIL_GRID)
+        session = SolverSession(problem, plan=SolverPlan.single(STENCIL_M, eps=eps))
+        solve = session.solve_cell(STENCIL_M)
+        assert solve.result.converged
+        iterations["csr"] = solve.iterations
+
+    def run_stencil() -> None:
+        problem = build_scenario("poisson", n_grid=STENCIL_GRID, assemble=False)
+        session = SolverSession(
+            problem, plan=SolverPlan.single(STENCIL_M, eps=eps, backend="stencil")
+        )
+        solve = session.solve_cell(STENCIL_M)
+        assert solve.result.converged
+        iterations["stencil"] = solve.iterations
+
+    out = {
+        "csr_s": _time_call(run_csr, repeats),
+        "stencil_s": _time_call(run_stencil, repeats),
+        "csr_peak_mb": _peak_mb(run_csr),
+        "stencil_peak_mb": _peak_mb(run_stencil),
+    }
+    out["speedup"] = out["csr_peak_mb"] / out["stencil_peak_mb"]
+    out["solve_speedup"] = out["csr_s"] / out["stencil_s"]
+    out["peak_mb"] = out["stencil_peak_mb"]
+    out["iterations"] = iterations
+    out["m"] = STENCIL_M
     return out
 
 
@@ -444,6 +587,9 @@ def build_report(
         "block_pcg": {},
         "sharded_block_pcg": {},
         "fem_schedule": {},
+        "stencil_apply": {},
+        "stencil_sweep": {},
+        "stencil_solve": {},
     }
     for a in meshes:
         problem = plate_problem(a)
@@ -472,6 +618,11 @@ def build_report(
                 problem, blocked, repeats, eps, steady=sharded_steady
             )
 
+    gkey = f"g={STENCIL_GRID}"
+    results["stencil_apply"][gkey] = bench_stencil_apply(repeats)
+    results["stencil_sweep"][gkey] = bench_stencil_sweep(repeats)
+    results["stencil_solve"][gkey] = bench_stencil_solve(repeats, eps)
+
     largest = f"a={max(meshes)}"
     table2_key = f"a={table2_mesh}"
     apply_speedup = results["apply_p_inv"][largest]["speedup"]
@@ -480,6 +631,8 @@ def build_report(
     block_pcg_speedup = results["block_pcg"][table2_key]["speedup"]
     sharded_speedup = results["sharded_block_pcg"][largest]["speedup"]
     fem_schedule_speedup = results["fem_schedule"][table2_key]["speedup"]
+    stencil_matvec_speedup = results["stencil_apply"][gkey]["speedup"]
+    stencil_memory_ratio = results["stencil_solve"][gkey]["speedup"]
     cpu_count = os.cpu_count() or 1
     sharded_enforced = cpu_count >= SHARDED_MIN_CORES
     return {
@@ -499,6 +652,8 @@ def build_report(
             "m_pcg": M_PCG,
             "table2_mesh": table2_mesh,
             "sharded_mode": "steady" if sharded_steady else "cold",
+            "stencil_grid": STENCIL_GRID,
+            "stencil_m": STENCIL_M,
         },
         "results": results,
         "targets": {
@@ -517,6 +672,10 @@ def build_report(
             "sharded_block_pcg_enforced": sharded_enforced,
             "fem_schedule_speedup_min": TARGET_FEM_SCHEDULE_SPEEDUP,
             "fem_schedule_speedup": fem_schedule_speedup,
+            "stencil_matvec_speedup_min": TARGET_STENCIL_MATVEC_SPEEDUP,
+            "stencil_matvec_speedup": stencil_matvec_speedup,
+            "stencil_solve_memory_ratio_min": TARGET_STENCIL_SOLVE_MEMORY_RATIO,
+            "stencil_solve_memory_ratio": stencil_memory_ratio,
             "met": bool(
                 apply_speedup >= TARGET_APPLY_P_INV_SPEEDUP
                 and table2_speedup >= TARGET_TABLE2_SPEEDUP
@@ -527,6 +686,8 @@ def build_report(
                     or sharded_speedup >= TARGET_SHARDED_BLOCK_PCG_SPEEDUP
                 )
                 and fem_schedule_speedup >= TARGET_FEM_SCHEDULE_SPEEDUP
+                and stencil_matvec_speedup >= TARGET_STENCIL_MATVEC_SPEEDUP
+                and stencil_memory_ratio >= TARGET_STENCIL_SOLVE_MEMORY_RATIO
             ),
         },
     }
@@ -539,9 +700,11 @@ def render(report: dict) -> str:
             cells = ", ".join(
                 f"{name}={value:.3e}" if name.endswith("_s")
                 else f"{name}={value:.2f}" if name == "speedup"
+                else f"{name}={value:.1f}" if name.endswith("peak_mb")
                 else ""
                 for name, value in row.items()
                 if name.endswith("_s") or name == "speedup"
+                or name.endswith("peak_mb")
             ).strip(", ")
             lines.append(f"  {section:<14s} {key:<6s} {cells}")
     t = report["targets"]
@@ -564,7 +727,11 @@ def render(report: dict) -> str:
         )
         + "), "
         f"fem schedule ≥{t['fem_schedule_speedup_min']:.1f}× "
-        f"(measured {t['fem_schedule_speedup']:.1f}×) — "
+        f"(measured {t['fem_schedule_speedup']:.1f}×), "
+        f"stencil matvec ≥{t['stencil_matvec_speedup_min']:.0f}× "
+        f"(measured {t['stencil_matvec_speedup']:.1f}×), "
+        f"stencil solve memory ≥{t['stencil_solve_memory_ratio_min']:.1f}× "
+        f"(measured {t['stencil_solve_memory_ratio']:.1f}×) — "
         + ("MET" if t["met"] else "NOT MET"),
     ]
     return "\n".join(lines)
@@ -622,7 +789,11 @@ def check_against_baseline(
             f"(need ≥{t['sharded_block_pcg_speedup_min']:g}× when enforced; "
             f"enforced={t['sharded_block_pcg_enforced']}), "
             f"fem schedule {t['fem_schedule_speedup']:.1f}× "
-            f"(need ≥{t['fem_schedule_speedup_min']:g}×)"
+            f"(need ≥{t['fem_schedule_speedup_min']:g}×), "
+            f"stencil matvec {t['stencil_matvec_speedup']:.1f}× "
+            f"(need ≥{t['stencil_matvec_speedup_min']:g}×), "
+            f"stencil solve memory {t['stencil_solve_memory_ratio']:.1f}× "
+            f"(need ≥{t['stencil_solve_memory_ratio_min']:g}×)"
         )
     return failures
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Matrix-free at scale: the stencil backend on meshes CSR regrets.
+
+The regular-mesh scenarios are a handful of constant diagonals — the
+grid stencil of the paper's Figure 2 — so the solver never needs the
+assembled matrix at all.  ``backend="stencil"`` applies K·x fused from
+the stencil and runs the Conrad–Wallach merged SSOR sweeps color-wise
+straight off it: no CSR, no permuted color blocks, no factors.  With
+``assemble=False`` the sparse matrix is never even built, which is the
+point at large n: the peak allocation of the whole pipeline drops to
+the vectors the iteration actually touches.
+
+Run:  python examples/stencil_large_mesh.py
+"""
+
+import tracemalloc
+
+from repro import SolverPlan, SolverSession, build_scenario
+from repro.analysis import Table
+
+N_GRID = 192  # n = 36,864 unknowns — 11× the paper's largest plate system
+M = 2
+
+
+def run(assemble: bool, backend: str) -> tuple[float, int]:
+    """Cold end-to-end solve; returns (peak MiB, PCG iterations)."""
+    tracemalloc.start()
+    try:
+        problem = build_scenario("poisson", n_grid=N_GRID, assemble=assemble)
+        session = SolverSession(
+            problem, plan=SolverPlan.single(M, eps=1e-6, backend=backend)
+        )
+        solve = session.solve_cell(M)
+        assert solve.result.converged
+        return tracemalloc.get_traced_memory()[1] / 2**20, solve.iterations
+    finally:
+        tracemalloc.stop()
+
+
+def main() -> None:
+    print(f"Poisson {N_GRID}×{N_GRID}: {N_GRID * N_GRID} unknowns, "
+          f"m = {M} multicolor SSOR PCG\n")
+
+    csr_peak, csr_iters = run(assemble=True, backend="vectorized")
+    st_peak, st_iters = run(assemble=False, backend="stencil")
+
+    table = Table(
+        "assembled CSR pipeline vs matrix-free stencil backend",
+        ["path", "peak MiB", "iterations"],
+    )
+    table.add_row("assembled (CSR + color blocks)", f"{csr_peak:.1f}", csr_iters)
+    table.add_row("matrix-free (stencil)", f"{st_peak:.1f}", st_iters)
+    table.add_note("same solver: identical iteration counts, iterates to ≤1e-12")
+    table.add_note("stencil path built with assemble=False — no matrix ever exists")
+    print(table.render())
+
+    ratio = csr_peak / st_peak
+    print(f"\npeak-allocation advantage: {ratio:.2f}× "
+          f"(the assembled path's CSR, permuted blocks and factors simply "
+          f"never exist)")
+    assert csr_iters == st_iters, "backends must agree on the iteration count"
+
+
+if __name__ == "__main__":
+    main()

@@ -23,10 +23,13 @@ python -m repro request --rows 20 --m 4     # one solve against the daemon
 python -m repro request --stats             # daemon counters (hits, batches)
 ```
 
-``solve``/``cyber``/``table2`` accept ``--backend vectorized|reference``
-(the kernel dispatch of :mod:`repro.kernels`); ``solve`` and ``recommend``
-accept any registered ``--scenario``, with ``--rows`` mapped onto the
-scenario's own size parameter.
+``cyber``/``table2`` accept ``--backend vectorized|reference`` (the kernel
+dispatch of :mod:`repro.kernels`); ``solve`` and ``request`` additionally
+accept ``--backend stencil`` — the matrix-free operator path for the
+regular-mesh scenarios, which never assembles a matrix at all
+(``repro scenarios`` lists which scenarios support it).  ``solve`` and
+``recommend`` accept any registered ``--scenario``, with ``--rows`` mapped
+onto the scenario's own size parameter.
 
 Multi-RHS and autotuning: ``solve --rhs K`` solves ``K`` load cases in one
 :func:`repro.core.pcg.block_pcg` lockstep (the scenario's load plus K−1
@@ -67,14 +70,25 @@ def _build_session(args, schedule=None):
     from repro.pipeline import SolverPlan, SolverSession, scenario
 
     spec = scenario(getattr(args, "scenario", "plate"))
+    backend = getattr(args, "backend", None)
+    if not spec.supports_backend(backend):
+        print(
+            f"scenario {spec.name!r} does not support backend {backend!r}; "
+            f"supported: {', '.join(spec.backends)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     params = {}
     if spec.size_param is not None and getattr(args, "rows", None):
         params[spec.size_param] = args.rows
     if spec.size_param == "nrows" and getattr(args, "cols", None):
         params["ncols"] = args.cols
+    if backend == "stencil":
+        # The matrix-free path's whole point: never assemble at all.
+        params["assemble"] = False
     plan_kwargs = {
         "eps": getattr(args, "eps", 1e-6),
-        "backend": getattr(args, "backend", None),
+        "backend": backend,
         "block_rhs": max(getattr(args, "rhs", 1) or 1, 1),
     }
     if schedule is not None:
@@ -148,6 +162,11 @@ def _cmd_solve(args) -> int:
     problem = session.problem
     width = max(args.rhs, 1)
     workers = max(args.workers, 1)
+    if workers > 1 and args.backend == "stencil":
+        print("--workers shards the assembled operator; the stencil "
+              "backend has no sharded path (drop --workers or --backend)",
+              file=sys.stderr)
+        return 2
     m, parametrized = args.m, args.parametrized
     if m == "auto":
         from repro.analysis import PerformanceModel
@@ -172,9 +191,10 @@ def _cmd_solve(args) -> int:
     if workload_spec is not None:
         print(f"workload: {workload_spec.name} "
               f"({', '.join(workload_spec.case_labels)})")
+    operator = problem.k if problem.k is not None else session.stencil()
     if width == 1 and workload_spec is None:
         solve = session.solve_cell(m, parametrized)
-        resid = float(np.max(np.abs(problem.f - problem.k @ solve.u)))
+        resid = float(np.max(np.abs(problem.f - operator @ solve.u)))
         print(f"method  : m = {solve.label} ({solve.result.stop_rule})")
         print(f"iterations: {solve.iterations}  converged: {solve.result.converged}")
         print(f"‖f − K u‖∞: {resid:.3e}")
@@ -192,7 +212,7 @@ def _cmd_solve(args) -> int:
         # solve: the dispatch then ships only column indices.
         session.prewarm_sharding(sharding)
     block = session.solve_cell_block(m, parametrized, F=F, sharding=sharding)
-    resid = float(np.max(np.abs(F - problem.k @ block.u)))
+    resid = float(np.max(np.abs(F - operator @ block.u)))
     iters = ", ".join(str(int(i)) for i in block.iterations)
     mode = (
         f"sharded over {workers} worker processes"
@@ -384,13 +404,18 @@ def _cmd_scenarios(args) -> int:
 
     table = Table(
         "Registered scenarios (repro.pipeline.problems)",
-        ["name", "defaults", "description"],
+        ["name", "defaults", "backends", "description"],
     )
     for spec in available_scenarios():
         defaults = ", ".join(f"{k}={v}" for k, v in spec.defaults.items())
-        table.add_row(spec.name, defaults or "—", spec.description)
+        table.add_row(
+            spec.name, defaults or "—", ", ".join(spec.backends),
+            spec.description,
+        )
     table.add_note("build with build_scenario(name, **overrides) or "
                    "`repro solve --scenario <name>`")
+    table.add_note("'stencil' = the matrix-free operator path "
+                   "(`--backend stencil`, no assembled matrix)")
     print(table.render())
     return 0
 
@@ -474,7 +499,7 @@ def _cmd_request(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     from repro.driver import TABLE2_EPS
-    from repro.kernels import BACKENDS
+    from repro.kernels import BACKENDS, SOLVER_BACKENDS
     from repro.pipeline import available_scenarios
 
     scenario_names = [spec.name for spec in available_scenarios()]
@@ -494,11 +519,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"--m must be an integer or 'auto', got {value!r}"
             ) from None
 
-    def add_backend_arg(p):
-        p.add_argument(
-            "--backend", choices=list(BACKENDS), default=None,
-            help="kernel backend for the numerics (default: vectorized)",
-        )
+    def add_backend_arg(p, solver=False):
+        if solver:
+            p.add_argument(
+                "--backend", choices=list(SOLVER_BACKENDS), default=None,
+                help="solver backend for the numerics (default: vectorized; "
+                "'stencil' is the matrix-free operator path of the "
+                "regular-mesh scenarios)",
+            )
+        else:
+            p.add_argument(
+                "--backend", choices=list(BACKENDS), default=None,
+                help="kernel backend for the numerics (default: vectorized)",
+            )
 
     def add_rhs_arg(p):
         p.add_argument(
@@ -591,7 +624,7 @@ def main(argv: list[str] | None = None) -> int:
     add_workers_arg(p_solve, "the RHS block's column groups")
     add_workload_arg(p_solve)
     add_auto_model_arg(p_solve)
-    add_backend_arg(p_solve)
+    add_backend_arg(p_solve, solver=True)
     p_cyber = sub.add_parser("cyber", help="one simulated CYBER 203 solve")
     add_plate_args(p_cyber)
     add_backend_arg(p_cyber)
@@ -661,7 +694,7 @@ def main(argv: list[str] | None = None) -> int:
         "--load-case", type=int, default=0,
         help="deterministic load-case index (0 = the scenario's own load)",
     )
-    add_backend_arg(p_req)
+    add_backend_arg(p_req, solver=True)
     p_req.add_argument("--ping", action="store_true",
                        help="health-check the daemon and exit")
     p_req.add_argument("--stats", action="store_true",

@@ -144,7 +144,9 @@ class MStepSolve:
     parametrized: bool
     coefficients: np.ndarray | None
     interval: tuple[float, float] | None
-    blocked: BlockedMatrix
+    #: The permuted block system the solve ran on — ``None`` for the
+    #: matrix-free ``"stencil"`` backend, which never permutes.
+    blocked: BlockedMatrix | None
 
     @property
     def iterations(self) -> int:

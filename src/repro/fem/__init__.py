@@ -11,13 +11,23 @@ that problem from scratch:
 * :mod:`repro.fem.plane_stress` — element stiffness and global assembly;
 * :mod:`repro.fem.stencil` — the ≤14-nonzero grid-point stencil of Figure 2;
 * :mod:`repro.fem.model_problems` — ready-to-solve ``K u = f`` factories
-  (the paper's plate plus a 5-point Poisson secondary problem).
+  (the paper's plate plus a 5-point Poisson secondary problem);
+* :mod:`repro.fem.matrixfree` — matrix-free stencil operators for the
+  regular-mesh problems (the ``"stencil"`` solver backend's substrate).
 """
 
 from repro.fem.irregular import (
     IrregularProblem,
     l_shaped_problem,
     perforated_problem,
+)
+from repro.fem.matrixfree import (
+    STENCIL_SCENARIOS,
+    anisotropic_stencil,
+    plate_stencil,
+    poisson_stencil,
+    stencil_interval,
+    stencil_operator,
 )
 from repro.fem.mesh import COLOR_NAMES, PlateMesh
 from repro.fem.model_problems import (
@@ -59,6 +69,12 @@ __all__ = [
     "perforated_problem",
     "node_stencil",
     "stencil_summary",
+    "STENCIL_SCENARIOS",
+    "anisotropic_stencil",
+    "plate_stencil",
+    "poisson_stencil",
+    "stencil_interval",
+    "stencil_operator",
     "element_stresses",
     "nodal_stresses",
     "von_mises",

@@ -16,6 +16,12 @@
 
 All return the system ``K u = f``, the unknown→color-group map that the
 multicolor package consumes, and human-readable group labels.
+
+The regular-mesh builders (plate, poisson, anisotropic) also take
+``assemble=False``: the load vector and color map are built as usual but
+``k`` stays ``None`` — the matrix-free mode for the ``"stencil"`` solver
+backend (:mod:`repro.fem.matrixfree`), which applies ``K`` straight off
+the grid stencil and never pays assembly memory.
 """
 
 from __future__ import annotations
@@ -27,7 +33,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.fem.mesh import PlateMesh
-from repro.fem.plane_stress import ElasticMaterial, assemble_plate
+from repro.fem.plane_stress import (
+    ElasticMaterial,
+    assemble_plate,
+    edge_traction_loads,
+)
 from repro.util import require
 
 __all__ = [
@@ -52,7 +62,9 @@ class PlateProblem:
 
     mesh: PlateMesh
     material: ElasticMaterial
-    k: sp.csr_matrix
+    #: Assembled stiffness, or ``None`` when built with ``assemble=False``
+    #: (matrix-free: only the ``"stencil"`` backend can serve the problem).
+    k: sp.csr_matrix | None
     f: np.ndarray
     #: Optional per-triangle stiffness multiplier (a spatially varying
     #: Young's modulus).  ``None`` means homogeneous material; consumers
@@ -64,7 +76,7 @@ class PlateProblem:
 
     @property
     def n(self) -> int:
-        return self.k.shape[0]
+        return self.k.shape[0] if self.k is not None else self.mesh.n_unknowns
 
     @cached_property
     def group_of_unknown(self) -> np.ndarray:
@@ -82,6 +94,8 @@ class PlateProblem:
 
     def direct_solution(self) -> np.ndarray:
         """Reference solution via a sparse direct factorization."""
+        require(self.k is not None,
+                "matrix-free problem (assemble=False) has no assembled matrix")
         return sp.linalg.spsolve(self.k.tocsc(), self.f)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -96,17 +110,31 @@ def plate_problem(
     traction_y: float = 0.0,
     width: float = 1.0,
     height: float = 1.0,
+    assemble: bool = True,
 ) -> PlateProblem:
     """Build the paper's plate problem for ``a = nrows`` rows of nodes.
 
     ``ncols`` defaults to ``nrows`` (the unit-square meshes of Table 2, where
     the maximum vector length is ≈ a²/3).  The left column is constrained and
     a uniform x-traction is applied on the right edge.
+
+    ``assemble=False`` skips the stiffness assembly entirely (``k=None``,
+    matrix-free): the load vector is the same eliminated traction vector
+    the assembled path produces, bit for bit.
     """
     ncols = nrows if ncols is None else ncols
     mesh = PlateMesh(nrows=nrows, ncols=ncols, width=width, height=height)
     material = material or ElasticMaterial()
-    k, f = assemble_plate(mesh, material, traction_x, traction_y)
+    if assemble:
+        k, f = assemble_plate(mesh, material, traction_x, traction_y)
+    else:
+        k = None
+        f_full = edge_traction_loads(mesh, material, traction_x, traction_y)
+        free_nodes = mesh.unconstrained_nodes
+        free_dofs = np.empty(2 * free_nodes.size, dtype=np.int64)
+        free_dofs[0::2] = 2 * free_nodes
+        free_dofs[1::2] = 2 * free_nodes + 1
+        f = f_full[free_dofs]
     return PlateProblem(mesh=mesh, material=material, k=k, f=f)
 
 
@@ -163,14 +191,15 @@ class PoissonProblem:
     """5-point Laplacian on an ``n × n`` interior grid with red/black colors."""
 
     n_grid: int
-    k: sp.csr_matrix
+    #: Assembled stiffness, or ``None`` when built with ``assemble=False``.
+    k: sp.csr_matrix | None
     f: np.ndarray
 
     GROUP_LABELS = ("R", "B")
 
     @property
     def n(self) -> int:
-        return self.k.shape[0]
+        return self.k.shape[0] if self.k is not None else self.n_grid * self.n_grid
 
     @cached_property
     def group_of_unknown(self) -> np.ndarray:
@@ -189,6 +218,8 @@ class PoissonProblem:
         return self.GROUP_LABELS
 
     def direct_solution(self) -> np.ndarray:
+        require(self.k is not None,
+                "matrix-free problem (assemble=False) has no assembled matrix")
         return sp.linalg.spsolve(self.k.tocsc(), self.f)
 
 
@@ -217,7 +248,9 @@ def _laplacian_1d(n_grid: int) -> sp.csr_matrix:
     return sp.diags([off, main, off], [-1, 0, 1], format="csr")
 
 
-def poisson_problem(n_grid: int, rhs: str = "ones") -> PoissonProblem:
+def poisson_problem(
+    n_grid: int, rhs: str = "ones", assemble: bool = True
+) -> PoissonProblem:
     """Dirichlet Poisson problem ``−Δu = g`` on the unit square.
 
     ``n_grid × n_grid`` interior points, natural row-major ordering.  The
@@ -229,8 +262,13 @@ def poisson_problem(n_grid: int, rhs: str = "ones") -> PoissonProblem:
         Interior points per side (≥ 2).
     rhs:
         ``"ones"`` for ``g ≡ 1`` or ``"peak"`` for a centered Gaussian bump.
+    assemble:
+        ``False`` skips the kron assembly (``k=None``, matrix-free for the
+        stencil backend).
     """
     require(n_grid >= 2, "need at least a 2×2 interior grid")
+    if not assemble:
+        return PoissonProblem(n_grid=n_grid, k=None, f=_grid_rhs(n_grid, rhs))
     h = 1.0 / (n_grid + 1)
     t = _laplacian_1d(n_grid)
     eye = sp.identity(n_grid, format="csr")
@@ -239,7 +277,7 @@ def poisson_problem(n_grid: int, rhs: str = "ones") -> PoissonProblem:
 
 
 def anisotropic_problem(
-    n_grid: int, epsilon: float = 0.1, rhs: str = "ones"
+    n_grid: int, epsilon: float = 0.1, rhs: str = "ones", assemble: bool = True
 ) -> AnisotropicProblem:
     """Anisotropic Dirichlet problem ``−ε·u_xx − u_yy = g``.
 
@@ -252,6 +290,10 @@ def anisotropic_problem(
     """
     require(n_grid >= 2, "need at least a 2×2 interior grid")
     require(epsilon > 0, "anisotropy ratio must be positive")
+    if not assemble:
+        return AnisotropicProblem(
+            n_grid=n_grid, k=None, f=_grid_rhs(n_grid, rhs), epsilon=epsilon
+        )
     h = 1.0 / (n_grid + 1)
     t = _laplacian_1d(n_grid)
     eye = sp.identity(n_grid, format="csr")

@@ -16,9 +16,12 @@ the equivalence test-suite pins the fast path against.
 from repro.kernels.backend import (
     BACKENDS,
     REFERENCE,
+    SOLVER_BACKENDS,
+    STENCIL,
     VECTORIZED,
     default_backend,
     resolve_backend,
+    resolve_solver_backend,
     set_default_backend,
     use_backend,
 )
@@ -39,16 +42,22 @@ from repro.kernels.triangular import (
     detect_color_slices,
     make_triangular_solver,
 )
+from repro.kernels.stencil import StencilOperator, StencilSSOR
 from repro.kernels.workspace import WorkspacePool
 
 __all__ = [
     "BACKENDS",
     "REFERENCE",
+    "SOLVER_BACKENDS",
+    "STENCIL",
     "VECTORIZED",
     "default_backend",
     "resolve_backend",
+    "resolve_solver_backend",
     "set_default_backend",
     "use_backend",
+    "StencilOperator",
+    "StencilSSOR",
     "axpy",
     "matvec_accumulate",
     "matvec_into",

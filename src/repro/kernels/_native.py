@@ -1,0 +1,282 @@
+"""Optional compiled kernel behind :class:`~repro.kernels.stencil.StencilOperator`.
+
+The pure-numpy stencil product pays one multiply pass and one add pass
+per diagonal; at solver sizes the arrays are cache-resident, so those
+extra sweeps — not DRAM — are the bottleneck.  The C kernel here fuses
+the whole product into a single pass per row::
+
+    out[i] = (out[i] +) c₀·x[i+o₀] + c₁·x[i+o₁] + … + c_d·x[i+o_d]
+
+using the *dominant constant* of each diagonal (a regular-mesh diagonal
+is one number almost everywhere), then overwrites the handful of
+"special" rows — boundary margins plus the rows where any diagonal
+deviates from its constant — with the exact per-row sum.  Per output
+element the terms still accumulate in ascending-offset order, i.e.
+ascending column order per row, so the result is **bitwise identical**
+to both the numpy shifted-slice path and scipy's ``csr_matvec``.
+
+Compilation happens lazily, once per interpreter, with ``cc`` into a
+content-hashed shared library under ``_build/`` next to this module; the
+flags deliberately include ``-ffp-contract=off`` so no fused
+multiply-add can change the rounding of the ``mul → add`` chain.  When
+no compiler is available (or ``REPRO_NO_NATIVE`` is set) the loader
+returns ``None`` and the operator silently keeps its numpy path — the
+kernel is an accelerator, never a dependency.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_native"]
+
+#: Generated cases of the fixed-diagonal-count fused loop.  Constant trip
+#: counts let the compiler unroll the diagonal chain and vectorize the
+#: row loop; diagonal counts outside the set fall back to the runtime
+#: loop (still one pass, just scalar).  5 covers the scalar 5-point
+#: stencils, 18 the interleaved two-dof plate stencil.
+_SPECIALIZED = (3, 5, 9, 18)
+
+_CASE_TEMPLATE = """
+        case {nd}:
+            for (i = lo; i < hi; ++i) {{
+                double acc = accumulate ? out[i] : 0.0;
+                for (k = 0; k < {nd}; ++k)
+                    acc += cs[k] * x[i + offs[k]];
+                out[i] = acc;
+            }}
+            break;
+"""
+
+_BLOCK_CASE_TEMPLATE = """
+        case {nd}:
+            for (i = lo; i < hi; ++i) {{
+                const double *xr = x + (size_t)i * nc;
+                double *orow = out + (size_t)i * nc;
+                for (c = 0; c < nc; ++c) {{
+                    double acc = accumulate ? orow[c] : 0.0;
+                    for (k = 0; k < {nd}; ++k)
+                        acc += cs[k] * xr[(ptrdiff_t)offs[k] * nc + c];
+                    orow[c] = acc;
+                }}
+            }}
+            break;
+"""
+
+
+def _source() -> str:
+    vec_cases = "".join(_CASE_TEMPLATE.format(nd=nd) for nd in _SPECIALIZED)
+    blk_cases = "".join(_BLOCK_CASE_TEMPLATE.format(nd=nd) for nd in _SPECIALIZED)
+    return (
+        """
+#include <stddef.h>
+
+/* Exact sum of one special row: true per-diagonal values, window-checked.
+   Ascending k is ascending column order — the csr_matvec association. */
+static double special_row(
+    long i, long n, long nd, const long *offs,
+    const double *svals, long nspecial, long t, const double *x)
+{
+    double acc = 0.0;
+    long k;
+    for (k = 0; k < nd; ++k) {
+        long j = i + offs[k];
+        if (j >= 0 && j < n)
+            acc += svals[(size_t)k * (size_t)nspecial + (size_t)t] * x[j];
+    }
+    return acc;
+}
+
+/* out (+)= K x for contiguous (n,) vectors. */
+void stencil_apply_v(
+    long n, long nd, const long *offs, const double *cs,
+    long nspecial, const long *srows, const double *svals, double *stash,
+    const double *x, double *out, int accumulate)
+{
+    long lo = offs[0] < 0 ? -offs[0] : 0;
+    long hi = offs[nd - 1] > 0 ? n - offs[nd - 1] : n;
+    long i, k, t;
+    if (hi < lo) hi = lo;
+    /* Special rows first: they read out[] before the fused loop clobbers
+       it, and land last so they overwrite the constant approximation. */
+    for (t = 0; t < nspecial; ++t) {
+        long r = srows[t];
+        double acc = accumulate ? out[r] : 0.0;
+        stash[t] = acc + special_row(r, n, nd, offs, svals, nspecial, t, x);
+    }
+    switch (nd) {
+"""
+        + vec_cases
+        + """
+        default:
+            for (i = lo; i < hi; ++i) {
+                double acc = accumulate ? out[i] : 0.0;
+                for (k = 0; k < nd; ++k)
+                    acc += cs[k] * x[i + offs[k]];
+                out[i] = acc;
+            }
+    }
+    for (t = 0; t < nspecial; ++t)
+        out[srows[t]] = stash[t];
+}
+
+/* out (+)= K X for C-contiguous (n, nc) blocks: row i is nc contiguous
+   doubles, each column an independent ascending-offset chain. */
+void stencil_apply_b(
+    long n, long nd, const long *offs, const double *cs,
+    long nspecial, const long *srows, const double *svals, double *stash,
+    long nc, const double *x, double *out, int accumulate)
+{
+    long lo = offs[0] < 0 ? -offs[0] : 0;
+    long hi = offs[nd - 1] > 0 ? n - offs[nd - 1] : n;
+    long i, k, c, t;
+    if (hi < lo) hi = lo;
+    for (t = 0; t < nspecial; ++t) {
+        long r = srows[t];
+        const double *xr = x + (size_t)r * nc;
+        double *orow = out + (size_t)r * nc;
+        double *st = stash + (size_t)t * nc;
+        (void)xr;
+        for (c = 0; c < nc; ++c) {
+            double acc = accumulate ? orow[c] : 0.0;
+            for (k = 0; k < nd; ++k) {
+                long j = r + offs[k];
+                if (j >= 0 && j < n)
+                    acc += svals[(size_t)k * (size_t)nspecial + (size_t)t]
+                         * x[(size_t)j * nc + c];
+            }
+            st[c] = acc;
+        }
+    }
+    switch (nd) {
+"""
+        + blk_cases
+        + """
+        default:
+            for (i = lo; i < hi; ++i) {
+                const double *xr = x + (size_t)i * nc;
+                double *orow = out + (size_t)i * nc;
+                for (c = 0; c < nc; ++c) {
+                    double acc = accumulate ? orow[c] : 0.0;
+                    for (k = 0; k < nd; ++k)
+                        acc += cs[k] * xr[(ptrdiff_t)offs[k] * nc + c];
+                    orow[c] = acc;
+                }
+            }
+    }
+    for (t = 0; t < nspecial; ++t) {
+        double *orow = out + (size_t)srows[t] * nc;
+        const double *st = stash + (size_t)t * nc;
+        for (c = 0; c < nc; ++c)
+            orow[c] = st[c];
+    }
+}
+"""
+    )
+
+
+_FLAG_SETS = (
+    # -march=native buys SIMD width; -ffp-contract=off keeps the mul→add
+    # chain un-fused in both, so the rounding matches numpy/scipy exactly.
+    ("-O3", "-march=native", "-ffp-contract=off", "-fPIC", "-shared"),
+    ("-O3", "-ffp-contract=off", "-fPIC", "-shared"),
+    ("-O2", "-fPIC", "-shared"),
+)
+
+_I64 = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64 = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+
+
+class NativeStencil:
+    """ctypes facade over the compiled fused-apply kernels."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        lib.stencil_apply_v.restype = None
+        lib.stencil_apply_v.argtypes = [
+            ctypes.c_long, ctypes.c_long, _I64, _F64,
+            ctypes.c_long, _I64, _F64, _F64,
+            _F64, _F64, ctypes.c_int,
+        ]
+        lib.stencil_apply_b.restype = None
+        lib.stencil_apply_b.argtypes = [
+            ctypes.c_long, ctypes.c_long, _I64, _F64,
+            ctypes.c_long, _I64, _F64, _F64,
+            ctypes.c_long, _F64, _F64, ctypes.c_int,
+        ]
+
+    def apply_vector(self, n, offs, cs, srows, svals, stash, x, out, accumulate):
+        self._lib.stencil_apply_v(
+            n, len(offs), offs, cs, len(srows), srows, svals, stash,
+            x, out, 1 if accumulate else 0,
+        )
+
+    def apply_block(self, n, offs, cs, srows, svals, stash, x, out, accumulate):
+        self._lib.stencil_apply_b(
+            n, len(offs), offs, cs, len(srows), srows, svals, stash,
+            x.shape[1], x, out, 1 if accumulate else 0,
+        )
+
+
+_CACHE: list = []  # [NativeStencil | None] once resolved
+
+
+def _build_dir() -> Path:
+    return Path(__file__).resolve().parent / "_build"
+
+
+def _compile(src_text: str, out_path: Path) -> bool:
+    build = out_path.parent
+    build.mkdir(parents=True, exist_ok=True)
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".c", dir=build, delete=False
+    ) as fh:
+        fh.write(src_text)
+        c_path = Path(fh.name)
+    try:
+        for flags in _FLAG_SETS:
+            tmp_so = c_path.with_suffix(".so")
+            cmd = ["cc", *flags, str(c_path), "-o", str(tmp_so)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+            except (OSError, subprocess.TimeoutExpired):
+                return False
+            if proc.returncode == 0:
+                os.replace(tmp_so, out_path)  # atomic vs concurrent builders
+                return True
+        return False
+    finally:
+        c_path.unlink(missing_ok=True)
+        c_path.with_suffix(".so").unlink(missing_ok=True)
+
+
+def load_native() -> NativeStencil | None:
+    """The compiled kernel pack, or ``None`` when it cannot be had.
+
+    The first call per interpreter compiles (or finds the content-hashed
+    cached ``.so``); every later call is a list lookup.  Set
+    ``REPRO_NO_NATIVE`` to force the numpy fallback everywhere.
+    """
+    if _CACHE:
+        return _CACHE[0]
+    native = None
+    if not os.environ.get("REPRO_NO_NATIVE"):
+        try:
+            text = _source()
+            digest = hashlib.sha256(text.encode()).hexdigest()[:16]
+            so_path = _build_dir() / f"stencil-{digest}.so"
+            if so_path.exists() or _compile(text, so_path):
+                native = NativeStencil(ctypes.CDLL(str(so_path)))
+        except OSError:
+            native = None
+    _CACHE.append(native)
+    return native

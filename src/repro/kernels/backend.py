@@ -14,6 +14,15 @@ Every hot primitive in the solver stack dispatches through a *backend*:
 
 The default is process-global; override it per object (every consumer
 takes a ``backend=`` argument) or temporarily with :func:`use_backend`.
+
+Solver plans additionally accept ``"stencil"`` — the matrix-free
+:class:`~repro.kernels.stencil.StencilOperator` path for the regular-mesh
+scenarios, which never assembles CSR at all.  It is a *solver* backend,
+not a kernel backend: the CSR kernel primitives have no stencil variant,
+so :data:`BACKENDS`/:func:`resolve_backend` (used by the triangular-solve
+and machine layers) exclude it while :data:`SOLVER_BACKENDS`/
+:func:`resolve_solver_backend` (used by plans, the CLI and the serving
+protocol) include it.
 """
 
 from __future__ import annotations
@@ -23,16 +32,21 @@ from contextlib import contextmanager
 __all__ = [
     "VECTORIZED",
     "REFERENCE",
+    "STENCIL",
     "BACKENDS",
+    "SOLVER_BACKENDS",
     "default_backend",
     "set_default_backend",
     "resolve_backend",
+    "resolve_solver_backend",
     "use_backend",
 ]
 
 VECTORIZED = "vectorized"
 REFERENCE = "reference"
+STENCIL = "stencil"
 BACKENDS = (VECTORIZED, REFERENCE)
+SOLVER_BACKENDS = (VECTORIZED, REFERENCE, STENCIL)
 
 _default = VECTORIZED
 
@@ -54,7 +68,25 @@ def resolve_backend(name: str | None) -> str:
         return _default
     if name not in BACKENDS:
         raise ValueError(
-            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+            f"unknown kernel backend {name!r}; valid choices: "
+            + ", ".join(repr(b) for b in BACKENDS)
+        )
+    return name
+
+
+def resolve_solver_backend(name: str | None) -> str:
+    """Validate a *solver* backend name (kernel backends + ``"stencil"``).
+
+    ``None`` means the current kernel default.  The error message lists
+    the valid choices — plans, the CLI and the serving protocol all route
+    their validation through here.
+    """
+    if name is None:
+        return _default
+    if name not in SOLVER_BACKENDS:
+        raise ValueError(
+            f"unknown solver backend {name!r}; valid choices: "
+            + ", ".join(repr(b) for b in SOLVER_BACKENDS)
         )
     return name
 

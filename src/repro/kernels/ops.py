@@ -65,6 +65,10 @@ def supports_matvec_into(a, x: np.ndarray, out: np.ndarray) -> bool:
     """Whether :func:`matvec_into` has a zero-allocation path for ``a @ x``."""
     if isinstance(a, np.ndarray):
         return True
+    if not sp.issparse(a) and callable(getattr(a, "matvec_into", None)):
+        # Matrix-free operators (repro.kernels.stencil.StencilOperator)
+        # bring their own fused in-place product.
+        return True
     return (
         _csr_matvec is not None
         and sp.issparse(a)
@@ -82,12 +86,16 @@ def supports_matvec_into(a, x: np.ndarray, out: np.ndarray) -> bool:
 def supports_matvec_block(a) -> bool:
     """Whether ``a @ X`` on an ``(n, k)`` block is per-column bitwise safe.
 
-    True only for float64 CSR with scipy's compiled ``csr_matvecs``
-    available — the one case where every column of the block product is
-    bit-identical to the single-vector ``csr_matvec`` (both accumulate each
-    row's nonzeros in index order).  :func:`repro.core.pcg.block_pcg` uses
-    this to decide between one batched product and a per-column loop.
+    True for float64 CSR with scipy's compiled ``csr_matvecs`` available,
+    and for matrix-free operators that declare ``block_matvec_bitwise``
+    (:class:`repro.kernels.stencil.StencilOperator`) — the cases where
+    every column of the block product is bit-identical to the
+    single-vector form (both accumulate each row's nonzeros in index
+    order).  :func:`repro.core.pcg.block_pcg` uses this to decide between
+    one batched product and a per-column loop.
     """
+    if not sp.issparse(a) and getattr(a, "block_matvec_bitwise", False):
+        return True
     return (
         _csr_matvecs is not None
         and sp.issparse(a)
@@ -106,6 +114,8 @@ def matvec_into(a, x: np.ndarray, out: np.ndarray) -> np.ndarray:
     if isinstance(a, np.ndarray):
         np.matmul(a, x, out=out)
         return out
+    if not sp.issparse(a) and callable(getattr(a, "matvec_into", None)):
+        return a.matvec_into(x, out)
     if supports_matvec_into(a, x, out):
         out[:] = 0.0
         _csr_matvec(a.shape[0], a.shape[1], a.indptr, a.indices, a.data, x, out)
@@ -124,6 +134,8 @@ def matvec_accumulate(a, x: np.ndarray, out: np.ndarray) -> np.ndarray:
     blocks; anything outside the fast path falls back to ``out += a @ x``
     (one temporary, same arithmetic).
     """
+    if not sp.issparse(a) and callable(getattr(a, "matvec_accumulate", None)):
+        return a.matvec_accumulate(x, out)
     if (
         sp.issparse(a)
         and a.format == "csr"

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.driver import TABLE2_SCHEDULE, TABLE3_SCHEDULE
+from repro.kernels.backend import STENCIL, resolve_solver_backend
 from repro.util import require
 
 __all__ = ["SolverPlan", "cell_label"]
@@ -45,8 +46,9 @@ class SolverPlan:
         ``"sweep"`` (Conrad–Wallach merged sweeps) or ``"splitting"``
         (kernel-dispatched m-step Horner over the SSOR splitting).
     backend:
-        Kernel backend for the numerics (``None`` → process default,
-        ``"vectorized"`` or ``"reference"``).
+        Solver backend for the numerics (``None`` → process default,
+        ``"vectorized"``, ``"reference"``, or ``"stencil"`` — the
+        matrix-free operator path for the regular-mesh scenarios).
     maxiter:
         Outer-iteration cap (``None`` → solver default).
     block_rhs:
@@ -81,6 +83,12 @@ class SolverPlan:
         require(self.omega > 0, "omega must be positive")
         require(self.applicator in ("sweep", "splitting"),
                 "applicator must be 'sweep' or 'splitting'")
+        resolve_solver_backend(self.backend)  # raises listing valid choices
+        require(
+            not (self.backend == STENCIL and self.applicator == "splitting"),
+            "the stencil backend runs the merged sweeps only; "
+            "use applicator='sweep' (or the default)",
+        )
         require(self.block_rhs >= 1, "block_rhs must be at least 1")
 
     # ------------------------------------------------------------- factories

@@ -110,10 +110,18 @@ class ProblemSpec:
     #: ``n_grid``) so generic drivers — the CLI's ``--rows`` — can scale
     #: any scenario without knowing its signature.
     size_param: str | None = None
+    #: Solver backends this scenario can serve.  Every scenario runs the
+    #: assembled kernel backends; the regular-mesh scenarios additionally
+    #: support the matrix-free ``"stencil"`` operator.
+    backends: tuple[str, ...] = ("vectorized", "reference")
 
     def build(self, **overrides):
         params = {**self.defaults, **overrides}
         return self.builder(**params)
+
+    def supports_backend(self, backend: str | None) -> bool:
+        """Whether a plan backend can serve this scenario (``None`` = default)."""
+        return backend is None or backend in self.backends
 
     # Specs pickle by recipe: a registered spec ships its *name* and is
     # rebound to the registry's builder on load, so worker processes can
@@ -125,6 +133,7 @@ class ProblemSpec:
             "description": self.description,
             "defaults": self.defaults,
             "size_param": self.size_param,
+            "backends": self.backends,
             "builder": None if (
                 registered is not None and registered.builder is self.builder
             ) else self.builder,
@@ -157,6 +166,7 @@ def register_scenario(
     builder: Callable,
     description: str,
     size_param: str | None = None,
+    backends: tuple[str, ...] = ("vectorized", "reference"),
     **defaults,
 ) -> ProblemSpec:
     """Register (or replace) a named scenario and return its spec."""
@@ -167,6 +177,7 @@ def register_scenario(
         description=description,
         defaults=defaults,
         size_param=size_param,
+        backends=tuple(backends),
     )
     _REGISTRY[name] = spec
     return spec
@@ -197,6 +208,7 @@ register_scenario(
     "the paper's plane-stress plate (unit square, left edge fixed, "
     "right edge loaded)",
     size_param="nrows",
+    backends=("vectorized", "reference", "stencil"),
     nrows=20,
 )
 
@@ -212,6 +224,7 @@ register_scenario(
     "the plate on a stretched (4:1 by default) domain — skewed elements, "
     "a harder spectrum, identical R/B/G coloring",
     size_param="nrows",
+    backends=("vectorized", "reference", "stencil"),
     nrows=20,
 )
 
@@ -246,6 +259,7 @@ register_scenario(
     poisson_problem,
     "5-point Laplacian on the unit square, classical red/black coloring",
     size_param="n_grid",
+    backends=("vectorized", "reference", "stencil"),
     n_grid=16,
 )
 
@@ -255,6 +269,7 @@ register_scenario(
     "anisotropic stencil −ε·u_xx − u_yy: red/black structure with a "
     "stiff spectrum as ε → 0",
     size_param="n_grid",
+    backends=("vectorized", "reference", "stencil"),
     n_grid=16,
 )
 

@@ -49,6 +49,9 @@ from repro.driver import (
     mstep_coefficients,
     ssor_interval,
 )
+from repro.fem.matrixfree import stencil_interval, stencil_operator
+from repro.kernels.backend import STENCIL
+from repro.kernels.stencil import StencilSSOR
 from repro.machines import CYBER_203, CyberMachine, FiniteElementMachine
 from repro.multicolor.blocked import BlockedMatrix
 from repro.parallel import (
@@ -126,6 +129,11 @@ class SessionStats:
     #: Column-group shards dispatched to the repro.parallel executor (a
     #: sharded block solve adds one per group; serial solves add none).
     shard_dispatches: int = 0
+    #: Which operator representation the last solve ran on: ``"csr"``
+    #: (the assembled, permuted block system) or ``"stencil"`` (the
+    #: matrix-free path).  Not a compile count — surfaced by
+    #: ``repro request --stats`` and the benchmarks.
+    operator_backend: str = "csr"
 
     def compile_counts(self) -> dict[str, int]:
         return {
@@ -155,7 +163,8 @@ class BlockMStepSolve:
     parametrized: bool
     coefficients: np.ndarray | None
     interval: tuple[float, float] | None
-    blocked: BlockedMatrix
+    #: ``None`` for the matrix-free ``"stencil"`` backend (no permutation).
+    blocked: BlockedMatrix | None
 
     @property
     def k(self) -> int:
@@ -204,6 +213,8 @@ class SolverSession:
         self._interval = interval
         self._coefficients: dict = {}
         self._applicators: dict = {}
+        self._stencil = None
+        self._stencil_applicators: dict = {}
         self._machines: dict = {}
         self._compiled = False
         # Shared-memory operator tokens this session published; released
@@ -227,17 +238,46 @@ class SolverSession:
     def blocked(self):
         """The multicolor blocked system — colored and permuted once."""
         if self._blocked is None:
+            require(
+                getattr(self.problem, "k", None) is not None,
+                "matrix-free problem (assemble=False) has no blocked "
+                "system; only the 'stencil' backend can serve it",
+            )
             self._blocked = build_blocked_system(self.problem)
             self.stats.colorings += 1
         return self._blocked
 
     @property
     def interval(self) -> tuple[float, float]:
-        """``[λ₁, λ_n]`` of ``P⁻¹K`` — measured once, reused everywhere."""
+        """``[λ₁, λ_n]`` of ``P⁻¹K`` — measured once, reused everywhere.
+
+        An assembled problem measures the exact spectrum on the blocked
+        system even under the stencil backend (the operators are the same
+        matrix, so coefficients match the CSR path exactly); a matrix-free
+        problem (``k=None``) bounds it by deterministic power iteration
+        on the stencil operator (:func:`repro.fem.stencil_interval`).
+        """
         if self._interval is None:
-            self._interval = ssor_interval(self.blocked, omega=self.plan.omega)
+            if getattr(self.problem, "k", None) is None:
+                self._interval = stencil_interval(self.stencil())
+            else:
+                self._interval = ssor_interval(
+                    self.blocked, omega=self.plan.omega
+                )
             self.stats.intervals += 1
         return self._interval
+
+    def stencil(self):
+        """The problem's matrix-free operator — built once, cached.
+
+        The stencil analogue of :attr:`blocked`: carries the coloring (the
+        operator's ``groups``) without ever permuting or assembling, so
+        building it counts as the session's coloring.
+        """
+        if self._stencil is None:
+            self._stencil = stencil_operator(self.problem)
+            self.stats.colorings += 1
+        return self._stencil
 
     def coefficients(self, m: int, parametrized: bool) -> np.ndarray | None:
         """The cell's αᵢ under the plan's criterion (cached; None for m = 0)."""
@@ -275,6 +315,24 @@ class SolverSession:
             )
             self.stats.applicator_builds += 1
         return self._applicators[key]
+
+    def stencil_applicator(self, m: int, parametrized: bool):
+        """The cell's matrix-free m-step sweep preconditioner (cached).
+
+        The stencil backend's counterpart of :meth:`applicator`: a
+        :class:`~repro.kernels.StencilSSOR` running the Conrad–Wallach
+        merged sweeps color-wise straight off the stencil — no factors,
+        so "building" one is just binding coefficients to the operator.
+        """
+        if m == 0:
+            return None
+        key = (m, parametrized)
+        if key not in self._stencil_applicators:
+            self._stencil_applicators[key] = StencilSSOR(
+                self.stencil(), self.coefficients(m, parametrized)
+            )
+            self.stats.applicator_builds += 1
+        return self._stencil_applicators[key]
 
     def _shard_recipe(
         self,
@@ -319,6 +377,14 @@ class SolverSession:
         """
         if self._compiled:
             return self
+        if self.plan.backend == STENCIL:
+            _ = self.stencil()
+            if self.plan.needs_interval:
+                _ = self.interval
+            for m, parametrized in self.plan.schedule:
+                self.stencil_applicator(m, parametrized)
+            self._compiled = True
+            return self
         _ = self.blocked
         if self.plan.needs_interval:
             _ = self.interval
@@ -351,6 +417,11 @@ class SolverSession:
         workers, _ = _normalize_sharding(sharding)
         if workers <= 1:
             return 0
+        require(
+            self.plan.backend != STENCIL,
+            "the stencil backend has no sharded path (nothing to publish "
+            "to shared memory); drop --workers or use the assembled path",
+        )
         self.compile()
         k_mat = self.blocked.permuted
         recipes = []
@@ -405,6 +476,10 @@ class SolverSession:
             problem, "mesh", None
         ) is None:
             return None
+        if problem.k is None:
+            # Matrix-free problem: no assembled system to lay a machine
+            # out on — callers fall back to the default B/A ratio.
+            return None
         if which == "cyber":
             return PerformanceModel.from_cyber_machine(self.cyber())
         return PerformanceModel.from_fem_machine(self.fem(1))
@@ -439,6 +514,13 @@ class SolverSession:
         from the session caches.
         """
         require(m >= 0, "m must be non-negative")
+        backend_name = backend if backend is not None else self.plan.backend
+        if backend_name == STENCIL:
+            return self._solve_cell_stencil(
+                m, parametrized, f=f, eps=eps, stopping=stopping,
+                maxiter=maxiter, track_residual=track_residual,
+                applicator=applicator,
+            )
         blocked = self.blocked
         ordering = blocked.ordering
         f = self.problem.f if f is None else f
@@ -465,6 +547,7 @@ class SolverSession:
             track_residual=track_residual,
         )
         self.stats.solves += 1
+        self.stats.operator_backend = "csr"
         return MStepSolve(
             result=result,
             u=ordering.unpermute_vector(result.u),
@@ -473,6 +556,62 @@ class SolverSession:
             coefficients=coefficients,
             interval=interval,
             blocked=blocked,
+        )
+
+    def _solve_cell_stencil(
+        self,
+        m: int,
+        parametrized: bool = False,
+        f: np.ndarray | None = None,
+        eps: float | None = None,
+        stopping: StoppingRule | None = None,
+        maxiter: int | None = None,
+        track_residual: bool = False,
+        applicator: str | None = None,
+    ) -> MStepSolve:
+        """:meth:`solve_cell` on the matrix-free path (natural ordering).
+
+        The stencil backend never permutes: PCG runs on the operator in
+        natural ordering (K is the same matrix, so the iteration is the
+        similarity-transformed twin of the permuted CSR run — iterates
+        map through the permutation, iteration counts agree exactly).
+        """
+        require(
+            applicator in (None, "sweep"),
+            "the stencil backend runs the merged sweeps only",
+        )
+        operator = self.stencil()
+        f = self.problem.f if f is None else f
+        f = np.asarray(f, dtype=float)
+
+        interval = self._interval
+        coefficients = None
+        preconditioner = None
+        if m >= 1:
+            if parametrized:
+                interval = self.interval
+            coefficients = self.coefficients(m, parametrized)
+            preconditioner = self.stencil_applicator(m, parametrized)
+
+        result = pcg(
+            operator,
+            f,
+            preconditioner=preconditioner,
+            eps=eps if eps is not None else self.plan.eps,
+            stopping=stopping,
+            maxiter=maxiter if maxiter is not None else self.plan.maxiter,
+            track_residual=track_residual,
+        )
+        self.stats.solves += 1
+        self.stats.operator_backend = STENCIL
+        return MStepSolve(
+            result=result,
+            u=result.u,
+            m=m,
+            parametrized=parametrized,
+            coefficients=coefficients,
+            interval=interval,
+            blocked=None,
         )
 
     def solve_cell_block(
@@ -513,6 +652,13 @@ class SolverSession:
         is exactly the serial lockstep.
         """
         require(m >= 0, "m must be non-negative")
+        backend_name = backend if backend is not None else self.plan.backend
+        if backend_name == STENCIL:
+            return self._solve_cell_block_stencil(
+                m, parametrized, F=F, eps=eps, stopping=stopping,
+                maxiter=maxiter, track_residual=track_residual,
+                applicator=applicator, sharding=sharding,
+            )
         blocked = self.blocked
         ordering = blocked.ordering
         if F is None:
@@ -578,6 +724,7 @@ class SolverSession:
             )
         self.stats.solves += result.k
         self.stats.block_solves += 1
+        self.stats.operator_backend = "csr"
         return BlockMStepSolve(
             result=result,
             u=ordering.unpermute_vector(result.u),
@@ -586,6 +733,69 @@ class SolverSession:
             coefficients=coefficients,
             interval=interval,
             blocked=blocked,
+        )
+
+    def _solve_cell_block_stencil(
+        self,
+        m: int,
+        parametrized: bool = False,
+        F: np.ndarray | None = None,
+        eps: float | None = None,
+        stopping: StoppingRule | None = None,
+        maxiter: int | None = None,
+        track_residual: bool = False,
+        applicator: str | None = None,
+        sharding=None,
+    ) -> BlockMStepSolve:
+        """:meth:`solve_cell_block` on the matrix-free path."""
+        require(
+            applicator in (None, "sweep"),
+            "the stencil backend runs the merged sweeps only",
+        )
+        workers, _ = _normalize_sharding(sharding)
+        require(
+            workers <= 1,
+            "the stencil backend has no sharded path (nothing to publish "
+            "to shared memory); drop --workers or use the assembled path",
+        )
+        operator = self.stencil()
+        if F is None:
+            F = np.asarray(self.problem.f, dtype=float)[:, None]
+        F = np.asarray(F, dtype=float)
+        if F.ndim == 1:
+            F = F[:, None]
+        require(F.ndim == 2, "F must be an (n, k) block of right-hand sides")
+        F = np.ascontiguousarray(F)
+
+        interval = self._interval
+        coefficients = None
+        if m >= 1:
+            if parametrized:
+                interval = self.interval
+            coefficients = self.coefficients(m, parametrized)
+        preconditioner = (
+            self.stencil_applicator(m, parametrized) if m >= 1 else None
+        )
+        result = block_pcg(
+            operator,
+            F,
+            preconditioner=preconditioner,
+            eps=eps if eps is not None else self.plan.eps,
+            stopping=stopping,
+            maxiter=maxiter if maxiter is not None else self.plan.maxiter,
+            track_residual=track_residual,
+        )
+        self.stats.solves += result.k
+        self.stats.block_solves += 1
+        self.stats.operator_backend = STENCIL
+        return BlockMStepSolve(
+            result=result,
+            u=result.u,
+            m=m,
+            parametrized=parametrized,
+            coefficients=coefficients,
+            interval=interval,
+            blocked=None,
         )
 
     def execute(self, f: np.ndarray | None = None) -> list[MStepSolve]:
@@ -679,6 +889,11 @@ class SolverSession:
         pass — the ``(workers, group)`` 2-D shard grid of
         :func:`repro.parallel.sharded_schedule`.
         """
+        require(
+            self.plan.backend != STENCIL,
+            "the machine simulators replay the assembled multicolor "
+            "system; the stencil backend has no machine path",
+        )
         cells = self.schedule_cells()
         eps = eps if eps is not None else self.plan.eps
         if batched and self.plan.backend != "reference":
@@ -734,6 +949,11 @@ class SolverSession:
         schedule by the partition-invariance of ``solve_schedule``;
         ``group`` bounds the cells per lockstep pass (the 2-D grid).
         """
+        require(
+            self.plan.backend != STENCIL,
+            "the machine simulators replay the assembled multicolor "
+            "system; the stencil backend has no machine path",
+        )
         cells = self.schedule_cells()
         eps = eps if eps is not None else self.plan.eps
         if (

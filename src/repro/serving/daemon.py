@@ -85,6 +85,11 @@ class ServerStats:
     evictions: int = 0
     queue_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: Lockstep passes per operator representation ("csr"/"stencil") —
+    #: mirrors :attr:`repro.pipeline.SessionStats.operator_backend`.
+    operator_backends: collections.Counter = field(
+        default_factory=collections.Counter
+    )
 
     def as_dict(self) -> dict:
         return {
@@ -101,6 +106,7 @@ class ServerStats:
             "evictions": self.evictions,
             "queue_seconds": self.queue_seconds,
             "solve_seconds": self.solve_seconds,
+            "operator_backends": dict(self.operator_backends),
         }
 
 
@@ -177,14 +183,14 @@ class SessionCache:
                     "omit 'rows'"
                 )
             params[spec.size_param] = request.rows
-        if request.backend is not None:
-            from repro.kernels import BACKENDS
-
-            if request.backend not in BACKENDS:
-                raise ProtocolError(
-                    f"'backend' must be one of {sorted(BACKENDS)}, "
-                    f"got {request.backend!r}"
-                )
+        if not spec.supports_backend(request.backend):
+            raise ProtocolError(
+                f"scenario {request.scenario!r} does not support backend "
+                f"{request.backend!r}; supported: {', '.join(spec.backends)}"
+            )
+        if request.backend == "stencil":
+            # Matrix-free systems: serve off the stencil, never assemble.
+            params["assemble"] = False
         problem = build_scenario(request.scenario, **params)
         m, parametrized = request.m, request.parametrized
         if m == "auto":
@@ -371,6 +377,9 @@ class MicroBatcher:
             self.stats.batches += 1
             self.stats.batch_widths[k] += 1
             self.stats.solve_seconds += solve_s
+            self.stats.operator_backends[
+                entry.session.stats.operator_backend
+            ] += 1
             for j, i in enumerate(solvable):
                 queue_s = t_start - enqueued[i]
                 self.stats.queue_seconds += queue_s

@@ -37,6 +37,8 @@ import json
 import math
 from dataclasses import dataclass
 
+from repro.kernels.backend import SOLVER_BACKENDS
+
 __all__ = [
     "MAX_LINE_BYTES",
     "ProtocolError",
@@ -166,6 +168,11 @@ def parse_solve_request(payload: dict) -> SolveRequest:
     backend = payload.get("backend")
     if backend is not None and not isinstance(backend, str):
         raise ProtocolError(f"'backend' must be a string or null, got {backend!r}")
+    if backend is not None and backend not in SOLVER_BACKENDS:
+        raise ProtocolError(
+            f"unknown solver backend {backend!r}; valid choices: "
+            + ", ".join(repr(b) for b in SOLVER_BACKENDS)
+        )
 
     rhs = payload.get("rhs")
     if rhs is not None:

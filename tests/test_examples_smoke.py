@@ -63,6 +63,16 @@ class TestExamplesRun:
         assert "iteration spread" in out
 
 
+class TestStencilLargeMesh:
+    def test_stencil_large_mesh(self, capsys, monkeypatch):
+        module = load_example("stencil_large_mesh")
+        monkeypatch.setattr(module, "N_GRID", 48)  # CI-sized mesh, same path
+        module.main()
+        out = capsys.readouterr().out
+        assert "matrix-free (stencil)" in out
+        assert "peak-allocation advantage" in out
+
+
 class TestHeavyExamplesImportable:
     @pytest.mark.parametrize(
         "name", ["plane_stress_plate", "cyber_simulation", "polynomial_preconditioners"]

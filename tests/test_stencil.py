@@ -1,0 +1,363 @@
+"""The matrix-free stencil backend: operator, sweeps, session parity.
+
+The contract of :mod:`repro.fem.matrixfree` + :class:`repro.kernels.StencilOperator`:
+the ``"stencil"`` backend is the *same solver* as the assembled CSR path —
+same iterates (≤1e−12, bitwise where the schedule is identical), same
+iteration counts, same operation counters — computed without ever forming
+a sparse matrix or permuted color blocks.  The compiled native kernel is
+an accelerator, never a semantic: the numpy fallback must produce
+bit-identical products.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.driver import build_blocked_system, mstep_coefficients, ssor_interval
+from repro.fem.matrixfree import (
+    STENCIL_SCENARIOS,
+    stencil_interval,
+    stencil_operator,
+)
+from repro.kernels import StencilOperator, StencilSSOR
+from repro.kernels.backend import SOLVER_BACKENDS
+from repro.multicolor import MStepSSOR
+from repro.pipeline import SolverPlan, SolverSession, build_scenario
+
+TOL = 1e-12
+
+#: Small instances of every scenario the stencil backend serves.
+SCENARIOS = [
+    ("poisson", {"n_grid": 12}),
+    ("anisotropic", {"n_grid": 10, "epsilon": 25.0}),
+    ("plate", {"nrows": 8}),
+]
+
+#: Scenarios whose stencil coefficients are bitwise equal to assembly
+#: (the kron-arithmetic builders; the plate's uniform-spacing mesh
+#: differs from linspace by ulps, so it is exact only to ~1e-15).
+BITWISE = ("poisson", "anisotropic")
+
+
+def _relerr(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.max(np.abs(a - b)) / (1.0 + np.max(np.abs(a))))
+
+
+# --------------------------------------------------------------------------
+# operator: structure and K·x equivalence
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,kw", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+def test_to_csr_matches_assembled(name, kw):
+    problem = build_scenario(name, **kw)
+    op = stencil_operator(problem)
+    dense_st = op.to_csr().toarray()
+    dense_k = problem.k.toarray()
+    if name in BITWISE:
+        assert np.array_equal(dense_st, dense_k)
+    else:
+        assert np.max(np.abs(dense_st - dense_k)) <= TOL * np.max(np.abs(dense_k))
+    assert op.shape == problem.k.shape
+    assert np.array_equal(op.groups, problem.group_of_unknown)
+
+
+@pytest.mark.parametrize("name,kw", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+def test_matvec_bitwise_vs_own_csr(name, kw):
+    """K·x off the stencil ≡ scipy's csr_matvec of the same matrix, bitwise.
+
+    Vector, C-ordered block and F-ordered block inputs all take distinct
+    code paths (fused native kernel, per-column loop, numpy fallback) —
+    each must agree with ``to_csr() @ x`` to the last bit.
+    """
+    op = stencil_operator(build_scenario(name, **kw))
+    k = op.to_csr()
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=op.n)
+    out = np.empty(op.n)
+    assert np.array_equal(op.matvec_into(x, out), k @ x)
+    assert np.array_equal(op @ x, k @ x)
+
+    xb_c = np.ascontiguousarray(rng.normal(size=(op.n, 3)))
+    xb_f = np.asfortranarray(xb_c)
+    ref = k @ xb_c
+    assert np.array_equal(op.matvec_into(xb_c, np.empty((op.n, 3))), ref)
+    assert np.array_equal(op.matvec_into(xb_f, np.empty((op.n, 3))), ref)
+
+    # accumulate: out += K x on a non-zero starting buffer.  The kernel
+    # adds the stencil terms onto out's prior value (out-first
+    # association), while `base + (K @ x)` sums the product first — same
+    # arithmetic to reordering, so ulp-level agreement, not bitwise.
+    base = rng.normal(size=op.n)
+    acc = base.copy()
+    op.matvec_accumulate(x, acc)
+    expected = base + k @ x
+    assert _relerr(expected, acc) <= 1e-13
+
+
+@pytest.mark.parametrize("name,kw", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+def test_numpy_fallback_bitwise(name, kw, monkeypatch):
+    """With the compiled kernel disabled the products do not change a bit."""
+    import repro.kernels.stencil as stencil_mod
+
+    op_native = stencil_operator(build_scenario(name, **kw))
+    monkeypatch.setattr(stencil_mod, "load_native", lambda: None)
+    op_plain = stencil_operator(build_scenario(name, **kw))
+    assert op_plain._native_plan is None  # the fallback really is in force
+
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=op_native.n)
+    xb = rng.normal(size=(op_native.n, 2))
+    assert np.array_equal(
+        op_native.matvec_into(x, np.empty(op_native.n)),
+        op_plain.matvec_into(x, np.empty(op_plain.n)),
+    )
+    assert np.array_equal(
+        op_native.matvec_into(xb, np.empty(xb.shape)),
+        op_plain.matvec_into(xb, np.empty(xb.shape)),
+    )
+
+
+def test_operator_validation():
+    vals = np.ones((3, 4))
+    groups = np.zeros(4, dtype=int)
+    with pytest.raises(ValueError, match="main diagonal"):
+        StencilOperator(offsets=(-1, 1), values=np.ones((2, 4)), groups=groups)
+    with pytest.raises(ValueError, match="strictly increasing"):
+        StencilOperator(offsets=(1, 0, -1), values=vals, groups=groups)
+    with pytest.raises(ValueError, match="one group per unknown"):
+        StencilOperator(offsets=(-1, 0, 1), values=vals, groups=np.zeros(3, int))
+    bad = np.ones((3, 4))
+    bad[1] = -1.0  # main diagonal
+    with pytest.raises(ValueError, match="diagonal must be positive"):
+        StencilOperator(offsets=(-1, 0, 1), values=bad, groups=groups)
+
+
+def test_memory_footprint_beats_csr():
+    """The raison d'être: the stencil stores O(d·n), CSR O(nnz) + indices."""
+    problem = build_scenario("poisson", n_grid=32)
+    op = stencil_operator(problem)
+    k = problem.k
+    csr_bytes = k.data.nbytes + k.indices.nbytes + k.indptr.nbytes
+    assert op.memory_bytes() < csr_bytes
+
+
+# --------------------------------------------------------------------------
+# sweeps: StencilSSOR ≡ MStepSSOR through the multicolor permutation
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,kw", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+@pytest.mark.parametrize("m", [1, 2, 4])
+def test_sweep_matches_mstep_ssor(name, kw, m):
+    """The merged stencil sweeps equal the permuted-CSR merged sweeps.
+
+    ``StencilSSOR`` runs in natural ordering, ``MStepSSOR`` in multicolor
+    ordering; mapped through ``perm``/``inverse_perm`` they are the same
+    arithmetic — bitwise for the kron-built stencils, ≤1e−12 for the
+    plate (ulp-level coefficient differences) — and charge identical
+    operation counts.
+    """
+    problem = build_scenario(name, **kw)
+    blocked = build_blocked_system(problem)
+    coeffs = mstep_coefficients(m, False, ssor_interval(blocked))
+    csr_sweep = MStepSSOR(blocked, coeffs)
+    st_sweep = StencilSSOR(stencil_operator(problem), coeffs)
+    perm = blocked.ordering.perm
+    inv = blocked.ordering.inverse_perm
+    rng = np.random.default_rng(3)
+
+    r = rng.normal(size=blocked.n)
+    y_csr = csr_sweep.apply(r[perm])[inv]
+    y_st = np.array(st_sweep.apply(r))  # pooled buffer — copy before reuse
+    R = rng.normal(size=(blocked.n, 4))
+    yb_csr = csr_sweep.apply(R[perm])[inv]
+    yb_st = np.array(st_sweep.apply(R))
+    if name in BITWISE:
+        assert np.array_equal(y_csr, y_st)
+        assert np.array_equal(yb_csr, yb_st)
+    else:
+        assert _relerr(y_csr, y_st) <= TOL
+        assert _relerr(yb_csr, yb_st) <= TOL
+
+    # identical instrumentation, including the sweeps' extra counters
+    assert st_sweep.counter == csr_sweep.counter
+
+
+def test_sweeps_share_the_operator_workspace():
+    """Every sweep bound to one operator reuses the same scratch pool
+    (the session's interval probe and applicators pay for it once); an
+    explicit pool still opts a sweep out."""
+    from repro.kernels import WorkspacePool
+
+    op = stencil_operator(build_scenario("poisson", n_grid=8))
+    a = StencilSSOR(op, np.ones(1))
+    b = StencilSSOR(op, np.ones(2))
+    assert a.workspace is op.workspace
+    assert b.workspace is op.workspace
+    private = WorkspacePool()
+    c = StencilSSOR(op, np.ones(1), workspace=private)
+    assert c.workspace is private
+
+
+# --------------------------------------------------------------------------
+# session parity: the stencil backend is the same solver
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,kw", SCENARIOS, ids=[s[0] for s in SCENARIOS])
+@pytest.mark.parametrize("m", [1, 2, 4])
+@pytest.mark.parametrize("k", [1, 4])
+def test_session_parity_vs_csr(name, kw, m, k):
+    """Stencil-backend solves reproduce the CSR pipeline cell for cell:
+    iterates to ≤1e−12 and identical iteration counts, for vector and
+    block right-hand sides."""
+    plan_csr = SolverPlan.single(m)
+    plan_st = SolverPlan.single(m, backend="stencil")
+    s_csr = SolverSession(build_scenario(name, **kw), plan=plan_csr)
+    s_st = SolverSession(build_scenario(name, **kw), plan=plan_st)
+
+    if k == 1:
+        r_csr = s_csr.solve_cell(m)
+        r_st = s_st.solve_cell(m)
+        assert r_csr.iterations == r_st.iterations
+        assert _relerr(r_csr.u, r_st.u) <= TOL
+        assert r_st.blocked is None  # never permuted, never assembled blocks
+    else:
+        n = s_csr.problem.f.size
+        F = np.random.default_rng(5).normal(size=(n, k))
+        r_csr = s_csr.solve_cell_block(m, F=F)
+        r_st = s_st.solve_cell_block(m, F=F)
+        assert np.array_equal(r_csr.iterations, r_st.iterations)
+        assert _relerr(r_csr.u, r_st.u) <= TOL
+    assert s_st.stats.operator_backend == "stencil"
+    assert s_csr.stats.operator_backend == "csr"
+
+
+def test_session_parity_stretched_plate():
+    """The stretched domain's harder spectrum still reproduces the CSR
+    iterates (the skewed elements amplify coefficient ulps, so this is
+    the tightest single-RHS case the ≤1e−12 contract covers)."""
+    kw = {"nrows": 8}
+    r_csr = SolverSession(
+        build_scenario("stretched-plate", **kw), plan=SolverPlan.single(2)
+    ).solve_cell(2)
+    r_st = SolverSession(
+        build_scenario("stretched-plate", **kw),
+        plan=SolverPlan.single(2, backend="stencil"),
+    ).solve_cell(2)
+    assert r_csr.iterations == r_st.iterations
+    assert _relerr(r_csr.u, r_st.u) <= TOL
+
+
+def test_matrix_free_end_to_end():
+    """``assemble=False`` + stencil backend: no matrix ever exists, the
+    interval comes from power iteration, and the solve still converges to
+    the assembled path's answer."""
+    problem = build_scenario("poisson", n_grid=12, assemble=False)
+    assert problem.k is None
+    session = SolverSession(problem, plan=SolverPlan.single(2, backend="stencil"))
+    solve = session.solve_cell(2, eps=1e-10)
+    assert solve.result.converged
+
+    reference = SolverSession(
+        build_scenario("poisson", n_grid=12), plan=SolverPlan.single(2)
+    ).solve_cell(2, eps=1e-10)
+    assert _relerr(reference.u, solve.u) <= 1e-8  # both ≈ the true solution
+
+    lo, hi = session.interval
+    assert 0 < lo < hi
+    assert session.stats.intervals == 1
+
+
+def test_stencil_interval_encloses_exact_spectrum():
+    problem = build_scenario("poisson", n_grid=12)
+    lo_ex, hi_ex = ssor_interval(build_blocked_system(problem))
+    lo, hi = stencil_interval(stencil_operator(problem))
+    assert lo <= lo_ex * 1.05
+    assert hi >= hi_ex / 1.05
+
+
+# --------------------------------------------------------------------------
+# guard rails: every unsupported combination refuses loudly
+# --------------------------------------------------------------------------
+
+
+def test_unsupported_scenarios_refuse():
+    with pytest.raises(ValueError, match="no stencil operator"):
+        stencil_operator(build_scenario("lshape", a=5))
+    with pytest.raises(ValueError, match="constant element stiffness"):
+        stencil_operator(build_scenario("variable-plate", nrows=6))
+
+
+def test_invalid_backend_lists_choices():
+    with pytest.raises(ValueError) as exc:
+        SolverPlan.single(2, backend="gpu")
+    for valid in SOLVER_BACKENDS:
+        assert repr(valid) in str(exc.value)
+
+
+def test_stencil_plan_rejects_splitting_applicator():
+    with pytest.raises(ValueError, match="merged sweeps only"):
+        SolverPlan.single(2, backend="stencil", applicator="splitting")
+
+
+def test_matrix_free_problem_has_no_blocked_system():
+    session = SolverSession(
+        build_scenario("poisson", n_grid=8, assemble=False),
+        plan=SolverPlan.single(2, backend="stencil"),
+    )
+    with pytest.raises(ValueError, match="no blocked"):
+        session.blocked
+
+
+def test_stencil_backend_has_no_sharded_path():
+    session = SolverSession(
+        build_scenario("poisson", n_grid=8),
+        plan=SolverPlan.single(2, backend="stencil"),
+    )
+    with pytest.raises(ValueError, match="no sharded path"):
+        session.solve_cell_block(
+            2, F=np.ones((session.problem.f.size, 4)), sharding=2
+        )
+
+
+def test_scenario_registry_reports_backends():
+    from repro.pipeline import available_scenarios
+
+    by_name = {spec.name: spec for spec in available_scenarios()}
+    for name in STENCIL_SCENARIOS:
+        assert "stencil" in by_name[name].backends
+    assert "stencil" not in by_name["lshape"].backends
+
+
+# --------------------------------------------------------------------------
+# large mesh (perf-marked: excluded from tier-1)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.perf
+def test_large_mesh_solves_under_csr_memory_ceiling():
+    """ISSUE 8 acceptance: a mesh ≥10× the paper's a=41 system solved
+    matrix-free under a peak-allocation ceiling the assembled pipeline
+    exceeds at the same size."""
+    n_grid = 512  # n = 262,144 dof = 80× the a=41 plate's 3,280
+
+    def peak_of(assemble: bool, backend: str) -> float:
+        tracemalloc.start()
+        try:
+            problem = build_scenario("poisson", n_grid=n_grid, assemble=assemble)
+            session = SolverSession(
+                problem, plan=SolverPlan.single(2, eps=1e-6, backend=backend)
+            )
+            solve = session.solve_cell(2)
+            assert solve.result.converged
+            return tracemalloc.get_traced_memory()[1] / 2**20
+        finally:
+            tracemalloc.stop()
+
+    stencil_peak = peak_of(False, "stencil")
+    csr_peak = peak_of(True, "vectorized")
+    # The ceiling between them: matrix-free fits where assembled cannot.
+    assert stencil_peak <= 0.7 * csr_peak, (stencil_peak, csr_peak)

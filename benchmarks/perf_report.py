@@ -93,8 +93,14 @@ TARGET_STENCIL_MATVEC_SPEEDUP = 2.0
 #: Measured ~1.9× at g = 256 (tracemalloc peaks are deterministic);
 #: 1.5 leaves headroom for allocator-layout jitter across platforms.
 TARGET_STENCIL_SOLVE_MEMORY_RATIO = 1.5
+#: The fused native multicolor sweep must at least match the merged CSR
+#: sweep per application (measured ~1.3× vector, ~1.4–1.5× block on the
+#: reference host) — the matrix-free path no longer trades speed for
+#: memory.
+TARGET_STENCIL_SWEEP_SPEEDUP = 1.0
 STENCIL_GRID = 256  # Poisson n_grid for the stencil rows (n = 65,536 = 20× a=41)
 STENCIL_M = 2  # preconditioner steps for the stencil sweep/solve rows
+STENCIL_BLOCK_WIDTHS = (4, 8)  # RHS widths for the block-sweep rows
 
 M_APPLY = 4  # the m used for preconditioner-application timings
 M_PCG = 3  # the m used for full-solve timings
@@ -491,11 +497,13 @@ def bench_stencil_apply(repeats: int) -> dict:
 
 
 def bench_stencil_sweep(repeats: int) -> dict:
-    """Multicolor m-step SSOR: stencil color sweeps vs the merged CSR sweep.
+    """Multicolor m-step SSOR: fused native sweep vs the merged CSR sweep.
 
-    Regression-gated only (no absolute floor): the gather-based stencil
-    sweep trades per-application speed for never forming the permuted
-    CSR color blocks — the solve row below carries the memory headline.
+    Gated absolutely at ``TARGET_STENCIL_SWEEP_SPEEDUP``: since the whole
+    m-step schedule moved into one native kernel walking the color plan
+    in-kernel, the matrix-free sweep must at least match ``MStepSSOR``
+    per application — the solve row below still carries the memory
+    headline.
     """
     from repro.driver import mstep_coefficients
     from repro.fem.matrixfree import stencil_operator
@@ -516,6 +524,39 @@ def bench_stencil_sweep(repeats: int) -> dict:
     out["m"] = STENCIL_M
     out["peak_mb"] = _peak_mb(lambda: st_sweep.apply(r))
     return out
+
+
+def bench_stencil_block_sweep(repeats: int) -> dict:
+    """The fused native *block* sweep vs the merged CSR block sweep.
+
+    One row per RHS width in ``STENCIL_BLOCK_WIDTHS``; every row is gated
+    absolutely at ``TARGET_STENCIL_SWEEP_SPEEDUP``, same bar as the
+    vector sweep.
+    """
+    from repro.driver import mstep_coefficients
+    from repro.fem.matrixfree import stencil_operator
+    from repro.kernels.stencil import StencilSSOR
+    from repro.pipeline import build_scenario
+
+    problem = build_scenario("poisson", n_grid=STENCIL_GRID)
+    blocked = build_blocked_system(problem)
+    coeffs = mstep_coefficients(STENCIL_M, False, ssor_interval(blocked))
+    csr_sweep = MStepSSOR(blocked, coeffs)
+    st_sweep = StencilSSOR(stencil_operator(problem), coeffs)
+    rows: dict[str, dict] = {}
+    for k in STENCIL_BLOCK_WIDTHS:
+        R = np.ascontiguousarray(
+            np.random.default_rng(10 + k).normal(size=(blocked.n, k))
+        )
+        row = {
+            "csr_s": _time_call(lambda: csr_sweep.apply(R), repeats),
+            "stencil_s": _time_call(lambda: st_sweep.apply(R), repeats),
+        }
+        row["speedup"] = row["csr_s"] / row["stencil_s"]
+        row["m"] = STENCIL_M
+        row["peak_mb"] = _peak_mb(lambda: st_sweep.apply(R))
+        rows[f"k={k}"] = row
+    return rows
 
 
 def bench_stencil_solve(repeats: int, eps: float) -> dict:
@@ -589,6 +630,7 @@ def build_report(
         "fem_schedule": {},
         "stencil_apply": {},
         "stencil_sweep": {},
+        "stencil_block_sweep": {},
         "stencil_solve": {},
     }
     for a in meshes:
@@ -621,6 +663,7 @@ def build_report(
     gkey = f"g={STENCIL_GRID}"
     results["stencil_apply"][gkey] = bench_stencil_apply(repeats)
     results["stencil_sweep"][gkey] = bench_stencil_sweep(repeats)
+    results["stencil_block_sweep"] = bench_stencil_block_sweep(repeats)
     results["stencil_solve"][gkey] = bench_stencil_solve(repeats, eps)
 
     largest = f"a={max(meshes)}"
@@ -632,6 +675,10 @@ def build_report(
     sharded_speedup = results["sharded_block_pcg"][largest]["speedup"]
     fem_schedule_speedup = results["fem_schedule"][table2_key]["speedup"]
     stencil_matvec_speedup = results["stencil_apply"][gkey]["speedup"]
+    stencil_sweep_speedup = results["stencil_sweep"][gkey]["speedup"]
+    stencil_block_sweep_speedup = min(
+        row["speedup"] for row in results["stencil_block_sweep"].values()
+    )
     stencil_memory_ratio = results["stencil_solve"][gkey]["speedup"]
     cpu_count = os.cpu_count() or 1
     sharded_enforced = cpu_count >= SHARDED_MIN_CORES
@@ -674,6 +721,10 @@ def build_report(
             "fem_schedule_speedup": fem_schedule_speedup,
             "stencil_matvec_speedup_min": TARGET_STENCIL_MATVEC_SPEEDUP,
             "stencil_matvec_speedup": stencil_matvec_speedup,
+            "stencil_sweep_speedup_min": TARGET_STENCIL_SWEEP_SPEEDUP,
+            "stencil_sweep_speedup": stencil_sweep_speedup,
+            "stencil_block_sweep_speedup_min": TARGET_STENCIL_SWEEP_SPEEDUP,
+            "stencil_block_sweep_speedup": stencil_block_sweep_speedup,
             "stencil_solve_memory_ratio_min": TARGET_STENCIL_SOLVE_MEMORY_RATIO,
             "stencil_solve_memory_ratio": stencil_memory_ratio,
             "met": bool(
@@ -687,6 +738,8 @@ def build_report(
                 )
                 and fem_schedule_speedup >= TARGET_FEM_SCHEDULE_SPEEDUP
                 and stencil_matvec_speedup >= TARGET_STENCIL_MATVEC_SPEEDUP
+                and stencil_sweep_speedup >= TARGET_STENCIL_SWEEP_SPEEDUP
+                and stencil_block_sweep_speedup >= TARGET_STENCIL_SWEEP_SPEEDUP
                 and stencil_memory_ratio >= TARGET_STENCIL_SOLVE_MEMORY_RATIO
             ),
         },
@@ -730,6 +783,9 @@ def render(report: dict) -> str:
         f"(measured {t['fem_schedule_speedup']:.1f}×), "
         f"stencil matvec ≥{t['stencil_matvec_speedup_min']:.0f}× "
         f"(measured {t['stencil_matvec_speedup']:.1f}×), "
+        f"stencil sweep ≥{t['stencil_sweep_speedup_min']:.1f}× "
+        f"(measured {t['stencil_sweep_speedup']:.2f}× vector, "
+        f"{t['stencil_block_sweep_speedup']:.2f}× block), "
         f"stencil solve memory ≥{t['stencil_solve_memory_ratio_min']:.1f}× "
         f"(measured {t['stencil_solve_memory_ratio']:.1f}×) — "
         + ("MET" if t["met"] else "NOT MET"),
@@ -792,6 +848,9 @@ def check_against_baseline(
             f"(need ≥{t['fem_schedule_speedup_min']:g}×), "
             f"stencil matvec {t['stencil_matvec_speedup']:.1f}× "
             f"(need ≥{t['stencil_matvec_speedup_min']:g}×), "
+            f"stencil sweep {t['stencil_sweep_speedup']:.2f}× vector / "
+            f"{t['stencil_block_sweep_speedup']:.2f}× block "
+            f"(need ≥{t['stencil_sweep_speedup_min']:g}×), "
             f"stencil solve memory {t['stencil_solve_memory_ratio']:.1f}× "
             f"(need ≥{t['stencil_solve_memory_ratio_min']:g}×)"
         )

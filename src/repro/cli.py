@@ -162,11 +162,6 @@ def _cmd_solve(args) -> int:
     problem = session.problem
     width = max(args.rhs, 1)
     workers = max(args.workers, 1)
-    if workers > 1 and args.backend == "stencil":
-        print("--workers shards the assembled operator; the stencil "
-              "backend has no sharded path (drop --workers or --backend)",
-              file=sys.stderr)
-        return 2
     m, parametrized = args.m, args.parametrized
     if m == "auto":
         from repro.analysis import PerformanceModel

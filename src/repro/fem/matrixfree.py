@@ -10,11 +10,12 @@ from the discretization, never touching ``scipy.sparse``:
   kron-assembly arithmetic term by term (``(2+2)/h²`` diagonals,
   ``−1/h²`` couplings), so the stencil coefficients are **bitwise equal**
   to the assembled matrix entries;
-* :func:`plate_stencil` accumulates the two representative CST element
-  stiffnesses over the uniform cell grid by constant window adds — 72
-  slice operations replace the global COO assembly.  The uniform-spacing
-  coordinates differ from the assembled path's ``linspace`` mesh by ulps,
-  so plate coefficients agree to ~1e-15 relative rather than bitwise;
+* :func:`plate_stencil` accumulates the batched CST element stiffnesses
+  (the exact per-element arithmetic of assembly, on the actual
+  ``linspace`` mesh coordinates) over the cell grid by window adds, in
+  the same per-entry contribution order as the deterministic assembly
+  summation — so plate coefficients are **bitwise equal** to the
+  assembled matrix entries too;
 * :func:`stencil_operator` dispatches on the problem type; and
 * :func:`stencil_interval` bounds the SSOR-preconditioned spectrum by
   deterministic power iteration when no assembled matrix exists to feed
@@ -31,7 +32,7 @@ from repro.fem.model_problems import (
     PlateProblem,
     PoissonProblem,
 )
-from repro.fem.plane_stress import ElasticMaterial, cst_stiffness
+from repro.fem.plane_stress import ElasticMaterial, element_stiffness_batch
 from repro.kernels.stencil import StencilOperator, StencilSSOR
 from repro.util import require
 
@@ -99,48 +100,70 @@ def poisson_stencil(n_grid: int) -> StencilOperator:
 _LOWER_VERTS = ((0, 0), (1, 0), (0, 1))
 _UPPER_VERTS = ((1, 0), (1, 1), (0, 1))
 
+#: ``(orientation, local_vertex)`` pairs sorted by ``(−pa[1], −pa[0],
+#: orientation)``, ``pa`` the vertex's cell-local grid offset.  A node
+#: pair's contributing elements sit at cells ``node − pa``, and assembly
+#: sums contributions in element order — cells row-major, lower triangle
+#: before upper — which is exactly ascending this key.  Accumulating the
+#: windows in this order (within each ascending cell-row chunk) makes
+#: every ≥3-term coefficient sum associate identically to the
+#: deterministic assembly summation; 2-term sums commute bitwise anyway.
+_ACC_ORDER = ((1, 1), (0, 2), (1, 2), (0, 1), (1, 0), (0, 0))
+
 
 def plate_stencil(
-    mesh: PlateMesh, material: ElasticMaterial | None = None
+    mesh: PlateMesh,
+    material: ElasticMaterial | None = None,
+    chunk_rows: int = 64,
 ) -> StencilOperator:
     """The plane-stress plate stiffness as ≤21 dof-level diagonals.
 
-    On the uniform grid every cell contributes the *same* two element
-    stiffnesses, so global assembly collapses to window accumulation:
-    for each triangle orientation and local vertex pair, one constant
-    2×2 dof block is added over the cell window of the node grid (72
-    slice-adds total).  Constrained-column couplings are zeroed exactly
-    as elimination drops them.  Within each color group a dof-level
-    offset addresses one node offset, so the multicolor sweep structure
-    carries over unchanged.
+    Element stiffnesses come from the same batched einsum assembly uses
+    (:func:`~repro.fem.plane_stress.element_stiffness_batch`, on the
+    actual mesh coordinates), and the window accumulation follows
+    ``_ACC_ORDER`` so every coefficient sums its element contributions in
+    assembly's deterministic triangle order — the stored diagonals are
+    **bitwise equal** to the assembled CSR entries.  Constrained-column
+    couplings are zeroed exactly as elimination drops them.  Within each
+    color group a dof-level offset addresses one node offset, so the
+    multicolor sweep structure carries over unchanged.  ``chunk_rows``
+    bounds the per-chunk element batch (cell rows per pass); any chunking
+    yields the same bits.
     """
     material = material or ElasticMaterial()
     nrows, ncols = mesh.nrows, mesh.ncols
     require(ncols >= 3, "stencil plate needs at least 3 node columns")
-    hx = mesh.width / (ncols - 1)
-    hy = mesh.height / (nrows - 1)
-    ke_by_orientation = []
-    for verts in (_LOWER_VERTS, _UPPER_VERTS):
-        coords = np.array([(di * hx, dj * hy) for di, dj in verts])
-        ke = cst_stiffness(coords, material)
-        ke_by_orientation.append((verts, 0.5 * (ke + ke.T)))
+    coords = mesh.coordinates
+    cells_x, cells_y = ncols - 1, nrows - 1
+    verts_by_orient = (_LOWER_VERTS, _UPPER_VERTS)
 
     # Node-level accumulation: coef[(di, dj)][j, i, α, β] is the stiffness
     # coupling of node (i, j)'s dof α to node (i+di, j+dj)'s dof β summed
     # over every element containing both — zero wherever no cell covers
     # the pair, which is exactly the boundary tapering assembly produces.
     coef: dict[tuple[int, int], np.ndarray] = {}
-    for verts, ke in ke_by_orientation:
-        for a in range(3):
+    cell_i = np.arange(cells_x)
+    for r0 in range(0, cells_y, max(chunk_rows, 1)):
+        r1 = min(r0 + max(chunk_rows, 1), cells_y)
+        sw = (np.arange(r0, r1)[:, None] * ncols + cell_i[None, :]).ravel()
+        kes = []
+        for verts in verts_by_orient:
+            tri = np.stack([sw + dj * ncols + di for di, dj in verts], axis=1)
+            kes.append(element_stiffness_batch(coords, tri, material))
+        for orient, a in _ACC_ORDER:
+            verts = verts_by_orient[orient]
+            ke = kes[orient]
+            pa = verts[a]
             for b in range(3):
-                pa, pb = verts[a], verts[b]
+                pb = verts[b]
                 delta = (pb[0] - pa[0], pb[1] - pa[1])
                 arr = coef.setdefault(
                     delta, np.zeros((nrows, ncols, 2, 2))
                 )
+                block = ke[:, 2 * a : 2 * a + 2, 2 * b : 2 * b + 2]
                 arr[
-                    pa[1] : pa[1] + nrows - 1, pa[0] : pa[0] + ncols - 1
-                ] += ke[2 * a : 2 * a + 2, 2 * b : 2 * b + 2]
+                    pa[1] + r0 : pa[1] + r1, pa[0] : pa[0] + cells_x
+                ] += block.reshape(r1 - r0, cells_x, 2, 2)
 
     # Map node offsets to dof-level flat diagonals over the eliminated
     # system: unconstrained nodes form an (nrows × b) grid, b = ncols−1,

@@ -28,6 +28,7 @@ from repro.util import require
 __all__ = [
     "ElasticMaterial",
     "cst_stiffness",
+    "element_stiffness_batch",
     "assemble_from_triangles",
     "assemble_plate",
     "assemble_plate_full",
@@ -129,6 +130,81 @@ def edge_traction_loads(
     return f
 
 
+def element_stiffness_batch(
+    coords: np.ndarray,
+    triangles: np.ndarray,
+    material: ElasticMaterial,
+    element_scale: np.ndarray | None = None,
+) -> np.ndarray:
+    """``(n_tri, 6, 6)`` CST stiffnesses for a batch of triangles.
+
+    One batched einsum (``Kₑ = t·A·Bᵀ D B``) whose per-element results are
+    independent of how the triangle set is chunked — the matrix-free plate
+    stencil builder relies on that to reproduce these stiffnesses bitwise,
+    cell row by cell row.  The Python-loop reference is
+    :func:`cst_stiffness`, against which this path is tested.
+    """
+    triangles = np.asarray(triangles, dtype=np.int64)
+    x = coords[triangles, 0]  # (n_tri, 3)
+    y = coords[triangles, 1]
+    area2 = (x[:, 1] - x[:, 0]) * (y[:, 2] - y[:, 0]) - (
+        x[:, 2] - x[:, 0]
+    ) * (y[:, 1] - y[:, 0])
+    require(bool(np.all(area2 > 0)), "degenerate or clockwise triangle present")
+
+    # Shape-function gradient coefficients, per triangle.
+    b = np.stack(
+        [y[:, 1] - y[:, 2], y[:, 2] - y[:, 0], y[:, 0] - y[:, 1]], axis=1
+    ) / area2[:, None]
+    c = np.stack(
+        [x[:, 2] - x[:, 1], x[:, 0] - x[:, 2], x[:, 1] - x[:, 0]], axis=1
+    ) / area2[:, None]
+
+    bmat = np.zeros((triangles.shape[0], 3, 6))
+    bmat[:, 0, 0::2] = b
+    bmat[:, 1, 1::2] = c
+    bmat[:, 2, 0::2] = c
+    bmat[:, 2, 1::2] = b
+
+    d = material.d_matrix
+    scale = material.thickness * 0.5 * area2  # t·A per triangle
+    if element_scale is not None:
+        scale = scale * element_scale
+    ke = np.einsum("eki,kl,elj->eij", bmat, d, bmat) * scale[:, None, None]
+    return 0.5 * (ke + np.transpose(ke, (0, 2, 1)))  # exact symmetry
+
+
+def _sum_duplicates_ordered(rows, cols, vals, n_full):
+    """Deterministic COO→CSR: duplicate ``(row, col)`` entries summed
+    strictly left-to-right in their original (element) order.
+
+    ``np.lexsort`` is stable, so within one ``(row, col)`` group the
+    values keep triangle order; the accumulation loop then adds them one
+    rank at a time — an exact left-to-right chain, unlike scipy's
+    ``sum_duplicates`` (whose unstable sort can reorder long rows) or
+    ``np.add.reduceat`` (whose pairwise reduction reassociates).  That
+    determinism is what lets the window-accumulated plate stencil builder
+    reproduce the assembled coefficients bitwise.
+    """
+    order = np.lexsort((cols, rows))
+    r_s, c_s, v_s = rows[order], cols[order], vals[order]
+    new = np.empty(r_s.size, dtype=bool)
+    new[0] = True
+    np.logical_or(r_s[1:] != r_s[:-1], c_s[1:] != c_s[:-1], out=new[1:])
+    starts = np.flatnonzero(new)
+    counts = np.diff(np.append(starts, r_s.size))
+    acc = v_s[starts].copy()
+    for p in range(1, int(counts.max())):
+        more = counts > p
+        acc[more] += v_s[starts[more] + p]
+    idx_dtype = np.int32 if n_full < 2**31 else np.int64
+    indptr = np.zeros(n_full + 1, dtype=idx_dtype)
+    np.cumsum(np.bincount(r_s[starts], minlength=n_full), out=indptr[1:])
+    return sp.csr_matrix(
+        (acc, c_s[starts].astype(idx_dtype), indptr), shape=(n_full, n_full)
+    )
+
+
 def assemble_from_triangles(
     coords: np.ndarray,
     triangles: np.ndarray,
@@ -148,9 +224,10 @@ def assemble_from_triangles(
     enters ``Kₑ`` linearly.  The variable-coefficient plate scenarios are
     built on this; ``None`` keeps the homogeneous material.
 
-    All element matrices are formed in one batched einsum
-    (``Kₑ = t·A·Bᵀ D B`` across the whole triangle set) — the Python-loop
-    reference is :func:`cst_stiffness`, against which this path is tested.
+    Element matrices come from :func:`element_stiffness_batch`; duplicate
+    scatter targets are summed in deterministic triangle order, so the
+    assembled coefficients are bitwise reproducible by any builder that
+    accumulates contributions in the same order (the plate stencil).
     """
     triangles = np.asarray(triangles, dtype=np.int64)
     n_tri = triangles.shape[0]
@@ -164,33 +241,7 @@ def assemble_from_triangles(
         n_full = 2 * coords.shape[0]
         return sp.csr_matrix((n_full, n_full))
 
-    x = coords[triangles, 0]  # (n_tri, 3)
-    y = coords[triangles, 1]
-    area2 = (x[:, 1] - x[:, 0]) * (y[:, 2] - y[:, 0]) - (
-        x[:, 2] - x[:, 0]
-    ) * (y[:, 1] - y[:, 0])
-    require(bool(np.all(area2 > 0)), "degenerate or clockwise triangle present")
-
-    # Shape-function gradient coefficients, per triangle.
-    b = np.stack(
-        [y[:, 1] - y[:, 2], y[:, 2] - y[:, 0], y[:, 0] - y[:, 1]], axis=1
-    ) / area2[:, None]
-    c = np.stack(
-        [x[:, 2] - x[:, 1], x[:, 0] - x[:, 2], x[:, 1] - x[:, 0]], axis=1
-    ) / area2[:, None]
-
-    bmat = np.zeros((n_tri, 3, 6))
-    bmat[:, 0, 0::2] = b
-    bmat[:, 1, 1::2] = c
-    bmat[:, 2, 0::2] = c
-    bmat[:, 2, 1::2] = b
-
-    d = material.d_matrix
-    scale = material.thickness * 0.5 * area2  # t·A per triangle
-    if element_scale is not None:
-        scale = scale * element_scale
-    ke = np.einsum("eki,kl,elj->eij", bmat, d, bmat) * scale[:, None, None]
-    ke = 0.5 * (ke + np.transpose(ke, (0, 2, 1)))  # exact symmetry
+    ke = element_stiffness_batch(coords, triangles, material, element_scale)
 
     dofs = np.empty((n_tri, 6), dtype=np.int64)
     dofs[:, 0::2] = 2 * triangles
@@ -199,9 +250,7 @@ def assemble_from_triangles(
     cols = np.tile(dofs, (1, 6)).ravel()
 
     n_full = 2 * coords.shape[0]
-    k_full = sp.csr_matrix((ke.ravel(), (rows, cols)), shape=(n_full, n_full))
-    k_full.sum_duplicates()
-    return k_full
+    return _sum_duplicates_ordered(rows, cols, ke.ravel(), n_full)
 
 
 def assemble_plate_full(

@@ -71,9 +71,94 @@ _BLOCK_CASE_TEMPLATE = """
 """
 
 
+#: Specialized entry counts of the fused sweep's interior rows.  Constant
+#: trip counts let the compiler unroll the short gather chain per row;
+#: 1–12 covers every color half of the 5-point scalar stencils (4) and
+#: the 18-diagonal interleaved plate stencil (up to 11).
+_SWEEP_NE = tuple(range(1, 13))
+
+_SWEEP_CASE_TEMPLATE = """
+        case {ne}:
+            for (q = qa; q < qb; ++q) {{
+                const long row = rows[q];
+                const double *crow = cm + (size_t)(q - g0) * {ne};
+                double acc = 0.0;
+{terms}                SSOR_TAIL_V
+            }}
+            break;
+"""
+
+
+def _sweep_case(ne: int) -> str:
+    terms = "".join(
+        f"                acc += crow[{i}] * rt[row + offs[{i}]];\n"
+        for i in range(ne)
+    )
+    return _SWEEP_CASE_TEMPLATE.format(ne=ne, terms=terms)
+
+
+#: Specialized RHS widths of the fused block sweep.  A compile-time k
+#: turns the per-row column loops into fully unrolled straight-line SIMD
+#: (the runtime-k loop pays ~2× at k ≤ 6); wider blocks fall back to the
+#: generic body, whose per-element cost is already amortized.
+_BLOCK_K = tuple(range(1, 9))
+
+_BLOCK_ROWS_TEMPLATE = """
+static void ssor_rows_b_k{kk}(
+    long n, long k, long qa, long qb, long g0, long ne,
+    const long *rows, const double *diag, const long *offs, const double *cm,
+    double alpha, const double *r, double *rt, double *y, double *acc,
+    int use_y, int do_solve, int store_y, int clip)
+{{
+    long q, e, j;
+    (void)k;
+    for (q = qa; q < qb; ++q) {{
+        const long row = rows[q];
+        const double *crow = cm + (size_t)(q - g0) * (size_t)ne;
+        double *yq = y + (size_t)q * {kk};
+        for (j = 0; j < {kk}; ++j)
+            acc[j] = 0.0;
+        for (e = 0; e < ne; ++e) {{
+            long col = row + offs[e];
+            const double cf = crow[e];
+            const double *rc;
+            if (clip) {{
+                if (col < 0) col = 0; else if (col >= n) col = n - 1;
+            }}
+            rc = rt + (size_t)col * {kk};
+            for (j = 0; j < {kk}; ++j)
+                acc[j] += cf * rc[j];
+        }}
+        if (do_solve) {{
+            const double *rr = r + (size_t)row * {kk};
+            double *rtr = rt + (size_t)row * {kk};
+            const double d = diag[q];
+            for (j = 0; j < {kk}; ++j) {{
+                double ar = alpha * rr[j];
+                double z = use_y ? ((ar - yq[j]) - acc[j]) : (ar - acc[j]);
+                rtr[j] = z / d;
+            }}
+        }}
+        if (store_y)
+            for (j = 0; j < {kk}; ++j)
+                yq[j] = acc[j];
+    }}
+}}
+"""
+
+
 def _source() -> str:
     vec_cases = "".join(_CASE_TEMPLATE.format(nd=nd) for nd in _SPECIALIZED)
     blk_cases = "".join(_BLOCK_CASE_TEMPLATE.format(nd=nd) for nd in _SPECIALIZED)
+    sweep_cases = "".join(_sweep_case(ne) for ne in _SWEEP_NE)
+    block_rows = "".join(_BLOCK_ROWS_TEMPLATE.format(kk=kk) for kk in _BLOCK_K)
+    block_dispatch = "".join(
+        f"    case {kk}:\n"
+        f"        ssor_rows_b_k{kk}(n, k, qa, qb, g0, ne, rows, diag, offs, cm,\n"
+        f"                    alpha, r, rt, y, acc, use_y, do_solve, store_y, clip);\n"
+        f"        return;\n"
+        for kk in _BLOCK_K
+    )
     return (
         """
 #include <stddef.h>
@@ -178,6 +263,259 @@ void stencil_apply_b(
             orow[c] = st[c];
     }
 }
+
+/* ---- fused multicolor m-step SSOR sweep --------------------------------
+
+   One entry point walks the whole color schedule in-kernel: per-color
+   gather off the constant-offset diagonals, diagonal solve, Horner
+   alpha*r accumulation, and the merged forward/backward Conrad-Wallach
+   passes.  The per-row chain mirrors the numpy fallback exactly —
+   entries accumulate in (target, offset) order, the solve subtracts in
+   the same association ((a*r - y) - acc), and -ffp-contract=off keeps
+   every mul -> add unfused — so the iterate is bitwise identical to the
+   chunked-numpy path.
+
+   Layout (built once by StencilOperator.sweep_plan):
+     gp[nc+1]   row-range pointers into rows/diag, concatenated by color
+     rows/diag  unknown index and diagonal value per scheduled row
+     ep[nc+1]   entry-range pointers per color (lower or upper half)
+     eoff       column offset per entry
+     ecb[nc]    base of the color's (len, ne) row-major coefficient
+                matrix inside ecoef
+   Gather columns clip to [0, n-1]; the stored coefficient at a clipped
+   row is exactly 0.0, so the clipped read contributes a signed zero at
+   most. */
+
+/* Row epilogue of the vector sweep: Horner solve + lower/upper-sum stash.
+   One association only — ((alpha*r - y) - acc) — matching the numpy
+   solve_into exactly. */
+#define SSOR_TAIL_V \
+    if (do_solve) { \
+        double ar = alpha * r[row]; \
+        double z = use_y ? ((ar - y[q]) - acc) : (ar - acc); \
+        rt[row] = z / diag[q]; \
+    } \
+    if (store_y) y[q] = acc;
+
+static void ssor_rows_v(
+    long n, long qa, long qb, long g0, long ne,
+    const long *rows, const double *diag, const long *offs, const double *cm,
+    double alpha, const double *r, double *rt, double *y,
+    int use_y, int do_solve, int store_y, int clip)
+{
+    long q, e;
+    if (clip) {
+        for (q = qa; q < qb; ++q) {
+            const long row = rows[q];
+            const double *crow = cm + (size_t)(q - g0) * (size_t)ne;
+            double acc = 0.0;
+            for (e = 0; e < ne; ++e) {
+                long col = row + offs[e];
+                if (col < 0) col = 0; else if (col >= n) col = n - 1;
+                acc += crow[e] * rt[col];
+            }
+            SSOR_TAIL_V
+        }
+        return;
+    }
+    switch (ne) {
+"""
+        + sweep_cases
+        + """
+        default:
+            for (q = qa; q < qb; ++q) {
+                const long row = rows[q];
+                const double *crow = cm + (size_t)(q - g0) * (size_t)ne;
+                double acc = 0.0;
+                for (e = 0; e < ne; ++e)
+                    acc += crow[e] * rt[row + offs[e]];
+                SSOR_TAIL_V
+            }
+    }
+}
+
+static void ssor_color_v(
+    long n, long c, const long *gp, const long *rows, const double *diag,
+    const long *ep, const long *eoff, const long *ecb, const double *ecoef,
+    double alpha, const double *r, double *rt, double *y,
+    int use_y, int do_solve, int store_y)
+{
+    const long ne = ep[c + 1] - ep[c];
+    const long *offs = eoff + ep[c];
+    const double *cm = ecoef + ecb[c];
+    const long qa = gp[c], qb = gp[c + 1];
+    long minoff = 0, maxoff = 0, q_lo, q_hi, e;
+    for (e = 0; e < ne; ++e) {
+        if (offs[e] < minoff) minoff = offs[e];
+        if (offs[e] > maxoff) maxoff = offs[e];
+    }
+    /* rows are sorted ascending, so clipping only bites on a prefix
+       (col < 0) and a suffix (col >= n); the interior runs branch-free.
+       Clipped entries carry coefficient exactly 0.0, so the split does
+       not change any sum. */
+    q_lo = qa;
+    while (q_lo < qb && rows[q_lo] + minoff < 0) ++q_lo;
+    q_hi = qb;
+    while (q_hi > q_lo && rows[q_hi - 1] + maxoff >= n) --q_hi;
+    ssor_rows_v(n, qa, q_lo, qa, ne, rows, diag, offs, cm,
+                alpha, r, rt, y, use_y, do_solve, store_y, 1);
+    ssor_rows_v(n, q_lo, q_hi, qa, ne, rows, diag, offs, cm,
+                alpha, r, rt, y, use_y, do_solve, store_y, 0);
+    ssor_rows_v(n, q_hi, qb, qa, ne, rows, diag, offs, cm,
+                alpha, r, rt, y, use_y, do_solve, store_y, 1);
+}
+
+void stencil_ssor_v(
+    long n, long m, long nc,
+    const long *gp, const long *rows, const double *diag,
+    const long *lp, const long *loff, const long *lcb, const double *lcoef,
+    const long *up, const long *uoff, const long *ucb, const double *ucoef,
+    const double *alphas, const double *r, double *rt, double *y)
+{
+    long s, c, q;
+    for (s = 1; s <= m; ++s) {
+        const double alpha = alphas[m - s];
+        const int first = (s == 1);
+        for (c = 0; c < nc; ++c)       /* forward: lower-triangular sums */
+            ssor_color_v(n, c, gp, rows, diag, lp, loff, lcb, lcoef,
+                         alpha, r, rt, y, !first, 1, 1);
+        for (c = nc - 2; c >= 1; --c)  /* backward: upper-triangular sums */
+            ssor_color_v(n, c, gp, rows, diag, up, uoff, ucb, ucoef,
+                         alpha, r, rt, y, 1, 1, 1);
+        if (nc >= 2) {
+            for (q = gp[nc - 1]; q < gp[nc]; ++q)
+                y[q] = 0.0;            /* last color has no upper coupling */
+            if (s == m)                /* closing color-0 solve */
+                ssor_color_v(n, 0, gp, rows, diag, up, uoff, ucb, ucoef,
+                             alpha, r, rt, y, 0, 1, 0);
+            else                       /* stash color-0 upper sum only */
+                ssor_color_v(n, 0, gp, rows, diag, up, uoff, ucb, ucoef,
+                             alpha, r, rt, y, 0, 0, 1);
+        }
+    }
+}
+
+/* Block form over C-contiguous (n, k): element (i, j) at i*k + j.  Each
+   column runs the exact scalar chain of stencil_ssor_v. */
+static void ssor_rows_b_any(
+    long n, long k, long qa, long qb, long g0, long ne,
+    const long *rows, const double *diag, const long *offs, const double *cm,
+    double alpha, const double *r, double *rt, double *y, double *acc,
+    int use_y, int do_solve, int store_y, int clip)
+{
+    long q, e, j;
+    for (q = qa; q < qb; ++q) {
+        const long row = rows[q];
+        const double *crow = cm + (size_t)(q - g0) * (size_t)ne;
+        double *yq = y + (size_t)q * k;
+        for (j = 0; j < k; ++j)
+            acc[j] = 0.0;
+        for (e = 0; e < ne; ++e) {
+            long col = row + offs[e];
+            const double cf = crow[e];
+            const double *rc;
+            if (clip) {
+                if (col < 0) col = 0; else if (col >= n) col = n - 1;
+            }
+            rc = rt + (size_t)col * k;
+            for (j = 0; j < k; ++j)
+                acc[j] += cf * rc[j];
+        }
+        if (do_solve) {
+            const double *rr = r + (size_t)row * k;
+            double *rtr = rt + (size_t)row * k;
+            const double d = diag[q];
+            for (j = 0; j < k; ++j) {
+                double ar = alpha * rr[j];
+                double z = use_y ? ((ar - yq[j]) - acc[j]) : (ar - acc[j]);
+                rtr[j] = z / d;
+            }
+        }
+        if (store_y)
+            for (j = 0; j < k; ++j)
+                yq[j] = acc[j];
+    }
+}
+"""
+        + block_rows
+        + """
+/* Column-loop trip counts are compile-time for the common widths: the
+   generated ssor_rows_b_k<K> bodies unroll to straight-line SIMD, which
+   is what lets the k=4 block sweep keep pace with the merged CSR sweep.
+   Same arithmetic per column either way — dispatch is bitwise-neutral. */
+static void ssor_rows_b(
+    long n, long k, long qa, long qb, long g0, long ne,
+    const long *rows, const double *diag, const long *offs, const double *cm,
+    double alpha, const double *r, double *rt, double *y, double *acc,
+    int use_y, int do_solve, int store_y, int clip)
+{
+    switch (k) {
+"""
+        + block_dispatch
+        + """
+    }
+    ssor_rows_b_any(n, k, qa, qb, g0, ne, rows, diag, offs, cm,
+                    alpha, r, rt, y, acc, use_y, do_solve, store_y, clip);
+}
+
+static void ssor_color_b(
+    long n, long k, long c,
+    const long *gp, const long *rows, const double *diag,
+    const long *ep, const long *eoff, const long *ecb, const double *ecoef,
+    double alpha, const double *r, double *rt, double *y, double *acc,
+    int use_y, int do_solve, int store_y)
+{
+    const long ne = ep[c + 1] - ep[c];
+    const long *offs = eoff + ep[c];
+    const double *cm = ecoef + ecb[c];
+    const long qa = gp[c], qb = gp[c + 1];
+    long minoff = 0, maxoff = 0, q_lo, q_hi, e;
+    for (e = 0; e < ne; ++e) {
+        if (offs[e] < minoff) minoff = offs[e];
+        if (offs[e] > maxoff) maxoff = offs[e];
+    }
+    q_lo = qa;
+    while (q_lo < qb && rows[q_lo] + minoff < 0) ++q_lo;
+    q_hi = qb;
+    while (q_hi > q_lo && rows[q_hi - 1] + maxoff >= n) --q_hi;
+    ssor_rows_b(n, k, qa, q_lo, qa, ne, rows, diag, offs, cm,
+                alpha, r, rt, y, acc, use_y, do_solve, store_y, 1);
+    ssor_rows_b(n, k, q_lo, q_hi, qa, ne, rows, diag, offs, cm,
+                alpha, r, rt, y, acc, use_y, do_solve, store_y, 0);
+    ssor_rows_b(n, k, q_hi, qb, qa, ne, rows, diag, offs, cm,
+                alpha, r, rt, y, acc, use_y, do_solve, store_y, 1);
+}
+
+void stencil_ssor_b(
+    long n, long k, long m, long nc,
+    const long *gp, const long *rows, const double *diag,
+    const long *lp, const long *loff, const long *lcb, const double *lcoef,
+    const long *up, const long *uoff, const long *ucb, const double *ucoef,
+    const double *alphas, const double *r, double *rt, double *y,
+    double *acc)
+{
+    long s, c, q;
+    for (s = 1; s <= m; ++s) {
+        const double alpha = alphas[m - s];
+        const int first = (s == 1);
+        for (c = 0; c < nc; ++c)
+            ssor_color_b(n, k, c, gp, rows, diag, lp, loff, lcb, lcoef,
+                         alpha, r, rt, y, acc, !first, 1, 1);
+        for (c = nc - 2; c >= 1; --c)
+            ssor_color_b(n, k, c, gp, rows, diag, up, uoff, ucb, ucoef,
+                         alpha, r, rt, y, acc, 1, 1, 1);
+        if (nc >= 2) {
+            for (q = gp[nc - 1] * k; q < gp[nc] * k; ++q)
+                y[q] = 0.0;
+            if (s == m)
+                ssor_color_b(n, k, 0, gp, rows, diag, up, uoff, ucb, ucoef,
+                             alpha, r, rt, y, acc, 0, 1, 0);
+            else
+                ssor_color_b(n, k, 0, gp, rows, diag, up, uoff, ucb, ucoef,
+                             alpha, r, rt, y, acc, 0, 0, 1);
+        }
+    }
+}
 """
     )
 
@@ -211,6 +549,18 @@ class NativeStencil:
             ctypes.c_long, _I64, _F64, _F64,
             ctypes.c_long, _F64, _F64, ctypes.c_int,
         ]
+        _plan = [_I64, _I64, _F64, _I64, _I64, _I64, _F64,
+                 _I64, _I64, _I64, _F64]
+        lib.stencil_ssor_v.restype = None
+        lib.stencil_ssor_v.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_long,
+            *_plan, _F64, _F64, _F64, _F64,
+        ]
+        lib.stencil_ssor_b.restype = None
+        lib.stencil_ssor_b.argtypes = [
+            ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+            *_plan, _F64, _F64, _F64, _F64, _F64,
+        ]
 
     def apply_vector(self, n, offs, cs, srows, svals, stash, x, out, accumulate):
         self._lib.stencil_apply_v(
@@ -223,6 +573,12 @@ class NativeStencil:
             n, len(offs), offs, cs, len(srows), srows, svals, stash,
             x.shape[1], x, out, 1 if accumulate else 0,
         )
+
+    def ssor_vector(self, n, m, nc, tables, alphas, r, rt, y):
+        self._lib.stencil_ssor_v(n, m, nc, *tables, alphas, r, rt, y)
+
+    def ssor_block(self, n, k, m, nc, tables, alphas, r, rt, y, acc):
+        self._lib.stencil_ssor_b(n, k, m, nc, *tables, alphas, r, rt, y, acc)
 
 
 _CACHE: list = []  # [NativeStencil | None] once resolved

@@ -123,6 +123,7 @@ class StencilOperator:
         self._tables = None
         self._plan = None
         self._native = False  # resolved lazily: None or the kernel pack
+        self._sweep_plan = False  # resolved lazily: None or (native, arrays)
 
     # ------------------------------------------------------------- protocol
     @property
@@ -150,6 +151,8 @@ class StencilOperator:
                 total += t.rows.nbytes + t.diag.nbytes
                 for _, _, cols, coeffs in t.lower + t.upper:
                     total += cols.nbytes + coeffs.nbytes
+        if self._sweep_plan not in (False, None):
+            total += sum(a.nbytes for a in self._sweep_plan[1])
         return total
 
     # --------------------------------------------------------------- matvec
@@ -378,6 +381,68 @@ class StencilOperator:
             self._tables = tuple(tables)
         return self._tables
 
+    @property
+    def sweep_plan(self):
+        """Flattened sweep schedule for the fused native kernel, or ``None``.
+
+        The schedule concatenates the per-color tables into the flat
+        arrays the C entry points walk: row-range pointers ``gp`` into
+        the scheduled ``rows``/``diag``, and per half (lower/upper)
+        entry-range pointers, column offsets, and a row-major ``(rows,
+        entries)`` coefficient matrix per color (entries in the same
+        ``(target, offset)`` order as the tables, so the in-kernel
+        accumulation is bitwise the numpy ``block_sum``).  ``None`` when
+        the compiled kernel is unavailable (``REPRO_NO_NATIVE``, no
+        ``cc``) — callers then keep the chunked-numpy sweep.
+        """
+        if self._sweep_plan is False:
+            self._sweep_plan = None
+            native = load_native()
+            if native is not None and self.n_groups > 0:
+                tables = self.sweep_tables
+                sizes = [t.rows.size for t in tables]
+                gp = np.concatenate(
+                    ([0], np.cumsum(sizes, dtype=np.int64))
+                ).astype(np.int64)
+                rows = np.concatenate([t.rows for t in tables]).astype(np.int64)
+                diag = np.ascontiguousarray(
+                    np.concatenate([t.diag for t in tables])
+                )
+
+                def half(side):
+                    ep = np.zeros(self.n_groups + 1, dtype=np.int64)
+                    bases = np.zeros(self.n_groups, dtype=np.int64)
+                    offs, mats, base = [], [], 0
+                    for c, t in enumerate(tables):
+                        entries = getattr(t, side)
+                        ep[c + 1] = ep[c] + len(entries)
+                        bases[c] = base
+                        offs.extend(int(e[1]) for e in entries)
+                        if entries:
+                            mat = np.ascontiguousarray(
+                                np.stack([e[3] for e in entries], axis=1)
+                            )
+                        else:
+                            mat = np.zeros((t.rows.size, 0))
+                        mats.append(mat)
+                        base += mat.size
+                    coef = (
+                        np.ascontiguousarray(
+                            np.concatenate([m.ravel() for m in mats])
+                        )
+                        if base
+                        else np.zeros(0)
+                    )
+                    return ep, np.array(offs, dtype=np.int64), bases, coef
+
+                lp, loff, lcb, lcoef = half("lower")
+                up, uoff, ucb, ucoef = half("upper")
+                self._sweep_plan = (
+                    native,
+                    (gp, rows, diag, lp, loff, lcb, lcoef, up, uoff, ucb, ucoef),
+                )
+        return self._sweep_plan
+
 
 @dataclass
 class StencilSSOR:
@@ -421,21 +486,70 @@ class StencilSSOR:
     def apply(self, r: np.ndarray) -> np.ndarray:
         """``M_m⁻¹ r`` in natural ordering; ``(n,)`` or ``(n, k)``.
 
+        Runs the fused native sweep when the compiled kernel is
+        available, else the chunked-numpy sweep — the two are bitwise
+        identical (same per-row accumulation order and subtraction
+        association; ``-ffp-contract=off`` keeps the C chain unfused).
         The returned array is a pooled buffer, valid until the next
         ``apply`` of any sweep sharing this pool (by default every sweep
         bound to the same operator) — copy it if it must outlive that.
         """
+        pool = self.workspace
+        r = np.asarray(r, dtype=float)
+        rt_pooled = pool.peek("rt")
+        if rt_pooled is not None and np.may_share_memory(r, rt_pooled):
+            r = r.copy()
+        plan = self.operator.sweep_plan
+        if plan is not None:
+            return self._apply_native(r, plan)
+        return self._apply_numpy(r)
+
+    def _charge(self, multiplies: int, solves: int, ncols: int) -> None:
+        self.counter.precond_applications += ncols
+        self.counter.precond_steps += self.m * ncols
+        self.counter.extra["block_multiplies"] = (
+            self.counter.extra.get("block_multiplies", 0) + multiplies * ncols
+        )
+        self.counter.extra["diag_solves"] = (
+            self.counter.extra.get("diag_solves", 0) + solves * ncols
+        )
+
+    def _apply_native(self, r: np.ndarray, plan) -> np.ndarray:
+        """One fused C call for the whole m-step schedule."""
+        native, arrays = plan
+        op = self.operator
+        tables = op.sweep_tables
+        n, nc, m = op.n, op.n_groups, self.m
+        pool = self.workspace
+        r = np.ascontiguousarray(r)
+        rt = pool.get("rt", r.shape)
+        if r.ndim == 1:
+            y = pool.get("ssor_y", (n,))
+            native.ssor_vector(n, m, nc, arrays, self.coefficients, r, rt, y)
+        else:
+            k = int(r.shape[1])
+            y = pool.get("ssor_y_b", (n, k))
+            acc = pool.get("ssor_acc", (k,))
+            native.ssor_block(
+                n, k, m, nc, arrays, self.coefficients, r, rt, y, acc
+            )
+        # Identical charges to the numpy loop, in closed form.
+        per_step = sum(t.lower_count for t in tables)
+        per_step += sum(tables[c].upper_count for c in range(nc - 2, 0, -1))
+        if nc >= 2:
+            per_step += tables[0].upper_count
+        solves = m * (nc + max(nc - 2, 0)) + (1 if nc >= 2 else 0)
+        self._charge(m * per_step, solves, 1 if r.ndim == 1 else int(r.shape[1]))
+        return rt
+
+    def _apply_numpy(self, r: np.ndarray) -> np.ndarray:
+        """Chunked-numpy sweep; the always-available bitwise twin."""
         op = self.operator
         tables = op.sweep_tables
         nc = op.n_groups
         m = self.m
         alphas = self.coefficients
         pool = self.workspace
-
-        r = np.asarray(r, dtype=float)
-        rt_pooled = pool.peek("rt")
-        if rt_pooled is not None and np.may_share_memory(r, rt_pooled):
-            r = r.copy()
 
         cache = self.__dict__.get("_apply_buffers")
         if cache is None or cache[0] != r.shape:
@@ -518,13 +632,5 @@ class StencilSSOR:
                 else:
                     y[0], xs[0] = xs[0], y[0]
 
-        ncols = 1 if one_d else int(r.shape[1])
-        self.counter.precond_applications += ncols
-        self.counter.precond_steps += m * ncols
-        self.counter.extra["block_multiplies"] = (
-            self.counter.extra.get("block_multiplies", 0) + multiplies * ncols
-        )
-        self.counter.extra["diag_solves"] = (
-            self.counter.extra.get("diag_solves", 0) + solves * ncols
-        )
+        self._charge(multiplies, solves, 1 if one_d else int(r.shape[1]))
         return rt

@@ -44,8 +44,10 @@ from repro.parallel.shards import (
     CSRPayload,
     ShardResult,
     ShardSpec,
+    StencilDescription,
     run_shard,
     shard_token,
+    stencil_description,
     warm_shard,
 )
 from repro.parallel.shm import (
@@ -72,8 +74,10 @@ __all__ = [
     "CSRPayload",
     "ShardResult",
     "ShardSpec",
+    "StencilDescription",
     "run_shard",
     "shard_token",
+    "stencil_description",
     "warm_shard",
     "ArrayView",
     "CSRHandle",

@@ -33,6 +33,7 @@ from repro.parallel.shards import (
     ShardSpec,
     matrix_token,
     run_shard,
+    stencil_description,
 )
 from repro.util import require
 
@@ -86,12 +87,19 @@ def build_shard_specs(
     :class:`~repro.parallel.shm.ArrayView` (``None`` on the pickled
     fallback, where each spec carries its own ``(n, g)`` slice and the
     iterates ride back through the result pickle).
+
+    A matrix-free :class:`~repro.kernels.stencil.StencilOperator` (no
+    ``tocsr``) ships as its tiny :class:`~repro.parallel.shards.
+    StencilDescription` instead of CSR segments or payloads — the
+    right-hand-side and output blocks still ride shared memory when
+    enabled.
     """
     F = np.asarray(F, dtype=float)
     n, ncols = F.shape
     if u0 is not None:
         u0 = np.asarray(u0, dtype=float)
     use_shm = shm.shm_enabled() if use_shm is None else use_shm
+    assembled = hasattr(k, "tocsr")
     token = f"{matrix_token(k)}:{recipe.fingerprint()}"
     common = dict(
         token=token, recipe=recipe, eps=eps, maxiter=maxiter,
@@ -101,7 +109,10 @@ def build_shard_specs(
     if use_shm:
         reg = shm.registry()
         mtoken = matrix_token(k)
-        operator = reg.publish_operator(mtoken, k)
+        operator = (
+            reg.publish_operator(mtoken, k) if assembled
+            else stencil_description(k)
+        )
         f_view = reg.publish_block(mtoken, "rhs", F)
         u0_common = None
         if u0 is not None and u0.ndim == 2:
@@ -118,7 +129,7 @@ def build_shard_specs(
         ]
         return specs, out_view
 
-    payload = CSRPayload.from_matrix(k)
+    payload = CSRPayload.from_matrix(k) if assembled else stencil_description(k)
     specs = []
     for cols in groups:
         u0_slice = None

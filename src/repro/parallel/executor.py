@@ -52,6 +52,18 @@ def _pool(workers: int) -> ProcessPoolExecutor:
     key = (workers, method)
     pool = _POOLS.get(key)
     if pool is None:
+        # Workers must inherit the parent's resource tracker: a child that
+        # first sees a shared-memory segment *after* forking from a parent
+        # with no tracker yet would start its own, whose registrations the
+        # parent's unlink can never balance (spurious leaked-segment
+        # warnings at shutdown).  The stencil sharding path publishes no
+        # segments before pool warm-up, so start the tracker explicitly.
+        try:
+            from multiprocessing.resource_tracker import ensure_running
+
+            ensure_running()
+        except ImportError:  # pragma: no cover - tracker API moved/absent
+            pass
         context = multiprocessing.get_context(method) if method else None
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
         _POOLS[key] = pool

@@ -42,6 +42,8 @@ from repro.util import OperationCounter, require
 
 __all__ = [
     "CSRPayload",
+    "StencilDescription",
+    "stencil_description",
     "ApplicatorRecipe",
     "ShardSpec",
     "ShardResult",
@@ -75,6 +77,128 @@ class CSRPayload:
 
 
 @dataclass(frozen=True)
+class StencilDescription:
+    """A :class:`~repro.kernels.stencil.StencilOperator` compressed to its
+    diagonal description — the stencil path's shard handle.
+
+    A regular-mesh diagonal is periodic with a tiny period almost
+    everywhere — one constant on a scalar grid, an alternating pair on a
+    dof-interleaved plate — so instead of shm segments (or megabytes of
+    CSR) the dispatch ships, per diagonal, the dominant pattern (period
+    1, 2 or 4 over the absolute row index) plus the few exception rows
+    where the stored value deviates — or the dense diagonal itself, when
+    coordinate ulps scatter the entries beyond any short period — and
+    the color-group map packed to one byte per unknown.  :meth:`to_operator` rebuilds a **bitwise
+    equal** operator worker-side (tile the pattern + exception scatter,
+    then the constructor's own out-of-range zeroing), so the
+    serial/sharded bitwise contract carries over to the matrix-free path
+    with no CSR payloads at all.
+    """
+
+    offsets: tuple[int, ...]
+    n: int
+    patterns: tuple[np.ndarray, ...]  # per diagonal: dominant periodic values
+    exc_idx: tuple[np.ndarray, ...]  # per diagonal: deviating rows (in-window)
+    exc_vals: tuple[np.ndarray, ...]
+    groups: np.ndarray  # (n,) packed color map
+    labels: tuple[str, ...]
+
+    def to_operator(self):
+        """Rebuild the operator; values are bitwise the originals."""
+        from repro.kernels.stencil import StencilOperator
+
+        values = np.empty((len(self.offsets), self.n))
+        for d, (pat, idx, vals) in enumerate(
+            zip(self.patterns, self.exc_idx, self.exc_vals)
+        ):
+            if pat.size == 0:  # dense diagonal: vals is the full row
+                values[d] = vals
+                continue
+            if pat.size == 1:
+                values[d].fill(pat[0])
+            else:
+                reps = -(-self.n // pat.size)
+                values[d] = np.tile(pat, reps)[: self.n]
+            values[d][idx] = vals
+        return StencilOperator(
+            offsets=self.offsets,
+            values=values,
+            groups=self.groups.astype(np.int64),
+            group_labels=self.labels,
+            copy=False,
+        )
+
+
+def _dominant_pattern(v: np.ndarray, s: int, e: int):
+    """The periodic pattern covering most of ``v[s:e]``, plus exceptions.
+
+    Tries periods 1, 2 and 4 over the *absolute* row index (so the
+    rebuild tiles from row 0) and keeps the shortest one whose exception
+    list stops shrinking substantially — a scalar grid compresses to one
+    constant, a 2-dof plate diagonal to its alternating pair.
+    """
+    window = v[s:e]
+    best = (np.zeros(1), s + np.flatnonzero(window != 0.0))
+    best_count = best[1].size + 1
+    for p in (1, 2, 4):
+        if window.size < 2 * p:
+            break
+        pattern = np.empty(p)
+        for r in range(p):
+            cls = window[(r - s) % p :: p]
+            uniq, counts = np.unique(cls, return_counts=True)
+            pattern[r] = uniq[np.argmax(counts)] if uniq.size else 0.0
+        idx = s + np.flatnonzero(window != np.tile(pattern, -(-e // p))[s:e])
+        if idx.size < best_count // 2:  # doubling the period must pay
+            best, best_count = (pattern, idx), idx.size
+    pattern, idx = best
+    if idx.size * 3 > window.size * 2:
+        # Ulp-scattered diagonal (mesh-coordinate ulps propagate into the
+        # entries): exceptions would cost more than the row itself — ship
+        # the diagonal dense.  Marked by an empty pattern.
+        return np.zeros(0), np.zeros(0, dtype=np.int64), v.copy()
+    return pattern, idx, v[idx].copy()
+
+
+def stencil_description(op) -> StencilDescription:
+    """Compress ``op`` to its picklable handle (cached on the operator).
+
+    Exceptions are collected over each diagonal's in-window rows only;
+    out-of-window rows rebuild as the pattern and are re-zeroed by the
+    ``StencilOperator`` constructor, exactly as the original was.
+    """
+    cached = getattr(op, "_repro_shard_description", None)
+    if cached is not None:
+        return cached
+    n = op.n
+    patterns, exc_idx, exc_vals = [], [], []
+    for o, v in zip(op.offsets, op.values):
+        s = -o if o < 0 else 0
+        e = n - o if o > 0 else n
+        pattern, idx, vals = _dominant_pattern(v, s, e)
+        patterns.append(pattern)
+        exc_idx.append(idx.astype(np.int32) if n < 2**31 else idx)
+        exc_vals.append(vals)
+    packed = (
+        op.groups.astype(np.int8) if op.n_groups <= 127 else op.groups
+    )
+    desc = StencilDescription(
+        offsets=tuple(op.offsets),
+        n=n,
+        patterns=tuple(patterns),
+        exc_idx=tuple(exc_idx),
+        exc_vals=tuple(exc_vals),
+        groups=packed,
+        labels=tuple(op.group_labels),
+    )
+    try:
+        op._repro_shard_description = desc
+    except AttributeError:
+        pass
+    return desc
+
+
+@dataclass(frozen=True)
 class ApplicatorRecipe:
     """How to rebuild a preconditioner from the shard's operator.
 
@@ -82,8 +206,11 @@ class ApplicatorRecipe:
         ``"none"`` (plain CG), ``"sweep"`` (Conrad–Wallach merged
         multicolor sweep — needs the ``groups`` map and ``labels`` to
         reconstruct the :class:`~repro.multicolor.blocked.BlockedMatrix`
-        view), or ``"splitting"`` (kernel-dispatched m-step Horner over
-        the SSOR splitting).
+        view), ``"splitting"`` (kernel-dispatched m-step Horner over
+        the SSOR splitting), or ``"stencil"`` (the matrix-free
+        :class:`~repro.kernels.stencil.StencilSSOR` sweep, straight off
+        the worker-side rebuilt :class:`StencilDescription` operator —
+        its color groups ride on the operator itself).
     ``groups``
         Color group of every row of the *permuted* operator (i.e. already
         sorted), so the rebuilt ordering is the identity permutation and
@@ -98,8 +225,8 @@ class ApplicatorRecipe:
     labels: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
-        require(self.kind in ("none", "sweep", "splitting"),
-                "recipe kind must be 'none', 'sweep' or 'splitting'")
+        require(self.kind in ("none", "sweep", "splitting", "stencil"),
+                "recipe kind must be 'none', 'sweep', 'splitting' or 'stencil'")
         if self.kind != "none":
             require(self.coefficients is not None,
                     f"a {self.kind!r} recipe needs its coefficient schedule")
@@ -107,11 +234,15 @@ class ApplicatorRecipe:
             require(self.groups is not None,
                     "a 'sweep' recipe needs the permuted color-group map")
 
-    def build(self, k: sp.csr_matrix):
+    def build(self, k):
         """The applicator the serial path would use, rebuilt in-process."""
         if self.kind == "none":
             return None
         coefficients = np.asarray(self.coefficients, dtype=float)
+        if self.kind == "stencil":
+            from repro.kernels.stencil import StencilSSOR
+
+            return StencilSSOR(k, coefficients)
         if self.kind == "splitting":
             from repro.core.mstep import MStepPreconditioner
             from repro.core.splittings import SSORSplitting
@@ -226,6 +357,8 @@ def compiled_shard_state(spec: ShardSpec):
         return state
     if isinstance(spec.matrix, CSRPayload):
         k = spec.matrix.to_matrix()
+    elif isinstance(spec.matrix, StencilDescription):
+        k = spec.matrix.to_operator()  # bitwise rebuild, no shm segments
     else:  # CSRHandle → zero-copy read-only views over the mapped segment
         k = shm.attach_csr(spec.matrix)
     state = (k, spec.recipe.build(k))

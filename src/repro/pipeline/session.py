@@ -65,7 +65,7 @@ from repro.parallel import (
 )
 from repro.parallel import shm
 from repro.parallel.executor import run_tasks
-from repro.parallel.shards import CSRPayload, matrix_token
+from repro.parallel.shards import CSRPayload, matrix_token, stencil_description
 from repro.pipeline.plan import SolverPlan
 from repro.pipeline.problems import build_scenario
 from repro.util import require
@@ -368,6 +368,20 @@ class SolverSession:
             backend=backend if backend is not None else self.plan.backend,
         )
 
+    def _stencil_shard_recipe(self, m: int, parametrized: bool) -> ApplicatorRecipe:
+        """The matrix-free cell's applicator as a picklable rebuild recipe.
+
+        Workers reconstruct :class:`~repro.kernels.stencil.StencilSSOR`
+        around the operator they rebuilt from the shard's
+        :class:`~repro.parallel.StencilDescription` — the same constructor
+        the serial path uses, so iterates stay bitwise identical.
+        """
+        if m == 0:
+            return ApplicatorRecipe(kind="none")
+        return ApplicatorRecipe(
+            kind="stencil", coefficients=self.coefficients(m, parametrized)
+        )
+
     def compile(self) -> "SolverSession":
         """Force every plan artifact now (idempotent).
 
@@ -406,7 +420,10 @@ class SolverSession:
         later dispatch against this session), starts the worker pool, and
         dispatches :func:`~repro.parallel.warm_shard` specs so each
         worker attaches the operator and factorizes every plan cell's
-        applicator *before* the first timed solve.  Returns the number of
+        applicator *before* the first timed solve.  On the stencil
+        backend nothing rides shared memory for the operator — each warm
+        spec carries the tiny :class:`~repro.parallel.StencilDescription`
+        workers rebuild the matrix-free operator from.  Returns the number of
         warm dispatches issued; serial sharding (``None`` or one worker)
         is a no-op.
 
@@ -417,18 +434,25 @@ class SolverSession:
         workers, _ = _normalize_sharding(sharding)
         if workers <= 1:
             return 0
-        require(
-            self.plan.backend != STENCIL,
-            "the stencil backend has no sharded path (nothing to publish "
-            "to shared memory); drop --workers or use the assembled path",
-        )
         self.compile()
-        k_mat = self.blocked.permuted
+        stencil_backend = self.plan.backend == STENCIL
+        if stencil_backend:
+            require(
+                applicator in (None, "sweep"),
+                "the stencil backend runs the merged sweeps only",
+            )
+            k_mat = self.stencil()
+        else:
+            k_mat = self.blocked.permuted
         recipes = []
         seen: set[str] = set()
         for m, parametrized in self.plan.schedule:
-            recipe = self._shard_recipe(
-                m, parametrized, applicator=applicator, backend=backend
+            recipe = (
+                self._stencil_shard_recipe(m, parametrized)
+                if stencil_backend
+                else self._shard_recipe(
+                    m, parametrized, applicator=applicator, backend=backend
+                )
             )
             token = shard_token(k_mat, recipe)
             if token not in seen:
@@ -436,7 +460,11 @@ class SolverSession:
                 recipes.append((token, recipe))
         if not recipes:
             return 0
-        if shm.shm_enabled():
+        if stencil_backend:
+            # The operator ships as its tiny diagonal description — no CSR
+            # segments to publish; workers rebuild it bitwise on attach.
+            handle = stencil_description(k_mat)
+        elif shm.shm_enabled():
             reg = shm.registry()
             mtoken = matrix_token(k_mat)
             handle = reg.publish_operator(mtoken, k_mat)
@@ -747,16 +775,17 @@ class SolverSession:
         applicator: str | None = None,
         sharding=None,
     ) -> BlockMStepSolve:
-        """:meth:`solve_cell_block` on the matrix-free path."""
+        """:meth:`solve_cell_block` on the matrix-free path.
+
+        Sharding works exactly as on the assembled path, except the
+        operator ships as its :class:`~repro.parallel.StencilDescription`
+        (workers rebuild the matrix-free operator bitwise from the tiny
+        diagonal description) while the right-hand-side and output blocks
+        still ride shared memory when enabled.
+        """
         require(
             applicator in (None, "sweep"),
             "the stencil backend runs the merged sweeps only",
-        )
-        workers, _ = _normalize_sharding(sharding)
-        require(
-            workers <= 1,
-            "the stencil backend has no sharded path (nothing to publish "
-            "to shared memory); drop --workers or use the assembled path",
         )
         operator = self.stencil()
         if F is None:
@@ -773,18 +802,44 @@ class SolverSession:
             if parametrized:
                 interval = self.interval
             coefficients = self.coefficients(m, parametrized)
-        preconditioner = (
-            self.stencil_applicator(m, parametrized) if m >= 1 else None
+
+        workers, group = _normalize_sharding(sharding)
+        groups = (
+            column_groups(F.shape[1], workers, group) if workers > 1 else []
         )
-        result = block_pcg(
-            operator,
-            F,
-            preconditioner=preconditioner,
-            eps=eps if eps is not None else self.plan.eps,
-            stopping=stopping,
-            maxiter=maxiter if maxiter is not None else self.plan.maxiter,
-            track_residual=track_residual,
-        )
+        eps_value = eps if eps is not None else self.plan.eps
+        maxiter_value = maxiter if maxiter is not None else self.plan.maxiter
+        if len(groups) > 1:
+            recipe = self._stencil_shard_recipe(m, parametrized)
+            result = sharded_block_pcg(
+                operator,
+                F,
+                recipe=recipe,
+                workers=workers,
+                group=group,
+                eps=eps_value,
+                stopping=stopping,
+                maxiter=maxiter_value,
+                track_residual=track_residual,
+            )
+            self.stats.shard_dispatches += len(groups)
+            if shm.shm_enabled():
+                # RHS/output blocks were published under the operator's
+                # token; tie their lifetime to this session.
+                self._shm_tokens.add(matrix_token(operator))
+        else:
+            preconditioner = (
+                self.stencil_applicator(m, parametrized) if m >= 1 else None
+            )
+            result = block_pcg(
+                operator,
+                F,
+                preconditioner=preconditioner,
+                eps=eps_value,
+                stopping=stopping,
+                maxiter=maxiter_value,
+                track_residual=track_residual,
+            )
         self.stats.solves += result.k
         self.stats.block_solves += 1
         self.stats.operator_backend = STENCIL
